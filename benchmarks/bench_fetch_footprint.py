@@ -1,0 +1,50 @@
+"""Figure 4 (measured): data fetched and requests issued per granularity.
+
+Figure 4 of the paper is an illustration; this benchmark quantifies it.  For
+each trace it counts, per fetching granularity, how many requests are issued
+and how much canvas area is fetched relative to what the viewports strictly
+need, verifying the paper's three arguments for dynamic boxes:
+
+1. compared to large tiles, dynamic boxes fetch less data,
+2. compared to small tiles, dynamic boxes require fewer requests,
+3. on skewed data they adapt to sparsity (checked in Figure 7's benches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fetch_footprint
+
+
+@pytest.fixture(scope="module")
+def footprint(uniform_stack):
+    return fetch_footprint(stack=uniform_stack, tile_sizes=(256, 1024, 4096))
+
+
+def test_footprint_computation(benchmark, uniform_stack):
+    """Time the footprint analysis itself (pure tile/box arithmetic)."""
+    results = benchmark(fetch_footprint, stack=uniform_stack, tile_sizes=(256, 1024, 4096))
+    assert len(results) == 5 * 3  # five granularities, three traces
+
+
+def test_dbox_fetches_less_area_than_large_tiles(footprint):
+    by_key = {(r.scheme, r.trace): r for r in footprint}
+    for trace in ("a", "b", "c"):
+        assert by_key[("dbox", trace)].fetched_area < by_key[("tile 4096", trace)].fetched_area
+
+
+def test_dbox_issues_fewer_requests_than_small_tiles(footprint):
+    by_key = {(r.scheme, r.trace): r for r in footprint}
+    for trace in ("a", "b", "c"):
+        assert by_key[("dbox", trace)].requests < by_key[("tile 256", trace)].requests
+
+
+def test_overfetch_ratios_ordered_by_tile_size(footprint):
+    by_key = {(r.scheme, r.trace): r for r in footprint}
+    for trace in ("a", "b", "c"):
+        assert (
+            by_key[("dbox", trace)].overfetch_ratio
+            <= by_key[("tile 1024", trace)].overfetch_ratio
+            <= by_key[("tile 4096", trace)].overfetch_ratio
+        )

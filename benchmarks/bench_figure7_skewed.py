@@ -1,0 +1,48 @@
+"""Figure 7: average response time per fetching scheme on the Skewed dataset.
+
+Identical measurement loop to Figure 6 but over the Skewed dataset (80 % of
+the dots in 20 % of the canvas area), where the paper expects dynamic boxes
+to widen their lead because they "can adjust their sizes and locations based
+on data sparsity".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_scheme_on_trace
+from repro.server.schemes import paper_schemes
+
+SCHEMES = {scheme.name: scheme for scheme in paper_schemes()}
+
+
+@pytest.mark.parametrize("trace_name", ["a", "b", "c"])
+@pytest.mark.parametrize("scheme_name", list(SCHEMES))
+def test_figure7_response_time(benchmark, skewed_stack, skewed_traces, scheme_name, trace_name):
+    """One bar of Figure 7: ``scheme_name`` on trace ``trace_name``."""
+    scheme = SCHEMES[scheme_name]
+    trace = skewed_traces[trace_name]
+
+    def run_once():
+        result = run_scheme_on_trace(skewed_stack, scheme, trace)
+        return result.average_response_ms
+
+    average_ms = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = "skewed"
+    benchmark.extra_info["scheme"] = scheme_name
+    benchmark.extra_info["trace"] = trace_name
+    benchmark.extra_info["avg_response_ms_per_step"] = round(average_ms, 2)
+    assert average_ms < 500.0
+
+
+def test_figure7_dbox_beats_every_tile_scheme_overall(skewed_stack, skewed_traces):
+    """The headline claim of the figure, checked once without timing."""
+    from repro.bench.harness import run_experiment
+
+    experiment = run_experiment(
+        skewed_stack, list(SCHEMES.values()), list(skewed_traces.values()), name="figure7"
+    )
+    dbox_mean = experiment.scheme_average("dbox")
+    for scheme_name in SCHEMES:
+        if scheme_name.startswith("tile"):
+            assert dbox_mean < experiment.scheme_average(scheme_name)

@@ -1,0 +1,63 @@
+"""Experiment E5: the US crime-map example application end to end.
+
+Reproduces the interaction sequence of Figure 2 — load the state map, click
+a state to jump into the county map, pan on the county map — and reports the
+response time of each interaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from usmap_crime import build_usmap_application
+
+from repro.client import KyrixFrontend
+from repro.compiler import compile_application
+from repro.datagen import USMapSpec
+from repro.server import KyrixBackend, dbox50_scheme
+
+
+@pytest.fixture(scope="module")
+def usmap_backend():
+    app, database = build_usmap_application(USMapSpec())
+    compiled = compile_application(app)
+    backend = KyrixBackend(database, compiled, app.config)
+    backend.precompute()
+    return backend
+
+
+def _fresh_frontend(backend) -> KyrixFrontend:
+    backend.cache.clear()
+    return KyrixFrontend(backend, dbox50_scheme())
+
+
+def test_initial_state_map_load(benchmark, usmap_backend):
+    def load_once():
+        frontend = _fresh_frontend(usmap_backend)
+        return frontend.load_initial_canvas().total_ms
+
+    latency_ms = benchmark(load_once)
+    assert latency_ms < 500.0
+
+
+def test_state_to_county_jump(benchmark, usmap_backend):
+    def jump_once():
+        frontend = _fresh_frontend(usmap_backend)
+        frontend.load_initial_canvas()
+        state = frontend.visible_objects[1][0]
+        return frontend.click(state, layer_index=1).total_ms
+
+    latency_ms = benchmark(jump_once)
+    assert latency_ms < 500.0
+
+
+def test_pan_on_county_map(benchmark, usmap_backend):
+    def pan_once():
+        frontend = _fresh_frontend(usmap_backend)
+        frontend.load_initial_canvas()
+        state = frontend.visible_objects[1][0]
+        frontend.click(state, layer_index=1)
+        return frontend.pan_by(2048, 0).total_ms
+
+    latency_ms = benchmark(pan_once)
+    assert latency_ms < 500.0

@@ -1,0 +1,173 @@
+"""EEG exploration: the MGH scenario of Section 4.
+
+The paper's collaborators want to explore sleep EEG with a *spectral*
+overview (per-epoch band powers) and a *temporal* detail view (raw traces),
+connected by a semantic zoom.  This example builds exactly that with the
+declarative API over the synthetic EEG generator:
+
+* ``spectral`` canvas — one epoch-feature rectangle per (channel, epoch),
+  intensity encoding delta-band power;
+* ``temporal`` canvas — the raw multi-channel traces, 100x wider, reached by
+  clicking an epoch (semantic zoom into the corresponding time range).
+
+Run with::
+
+    python examples/eeg_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.apps import default_config
+from repro.client import KyrixFrontend
+from repro.compiler import compile_application
+from repro.core import (
+    App,
+    Canvas,
+    ColumnPlacement,
+    Jump,
+    Layer,
+    Transform,
+    legend_renderer,
+    line_renderer,
+    rect_renderer,
+)
+from repro.datagen import EEGSpec, load_eeg
+from repro.server import KyrixBackend, dbox_scheme
+from repro.storage import Database
+
+#: Vertical lane height used by the epoch (spectral) canvas.
+SPECTRAL_LANE = 100.0
+#: Vertical lane height used by the sample (temporal) canvas.
+TEMPORAL_LANE = 200.0
+
+
+def build_eeg_application(spec: EEGSpec | None = None) -> tuple[App, Database]:
+    """Build the two-view EEG application and its database."""
+    spec = spec or EEGSpec(channels=4, sample_rate_hz=64.0, duration_s=600.0)
+    config = default_config(viewport=1024)
+    database = Database(config.storage)
+    load_eeg(database, spec)
+
+    total_ms = spec.duration_s * 1000.0
+    app = App("eeg", config=config)
+
+    # -- spectral overview canvas ------------------------------------------------
+    spectral = Canvas(
+        "spectral",
+        width=max(2048.0, total_ms / 10.0),  # 10 ms of recording per pixel
+        height=max(1024.0, spec.channels * SPECTRAL_LANE * 2),
+    )
+    spectral.addTransform(Transform.empty())
+    spectral.addTransform(
+        Transform(
+            transform_id="epochTrans",
+            query=(
+                "SELECT epoch_id, channel, t_ms, delta, theta, alpha, spindle, bbox "
+                "FROM eeg_epochs"
+            ),
+            columns=(
+                "epoch_id", "channel", "t_ms", "delta", "theta", "alpha",
+                "spindle", "bbox", "px", "py", "epoch_w", "epoch_h",
+            ),
+            transform_func=lambda row: {
+                **row,
+                # Position epochs on the spectral canvas: x = time / 10,
+                # y = channel lane; intensity column normalised later.
+                "px": row["t_ms"] / 10.0,
+                "py": row["channel"] * SPECTRAL_LANE + SPECTRAL_LANE / 2.0,
+                "epoch_w": 3000.0 / 10.0,
+                "epoch_h": SPECTRAL_LANE * 0.8,
+            },
+        )
+    )
+    legend = Layer("empty", True)
+    legend.addRenderingFunc(legend_renderer("delta-band power per 30s epoch"))
+    spectral.addLayer(legend)
+
+    epoch_layer = Layer("epochTrans", False)
+    epoch_layer.addPlacement(
+        ColumnPlacement(x_column="px", y_column="py", width="epoch_w", height="epoch_h")
+    )
+    epoch_layer.addRenderingFunc(
+        rect_renderer("px", "py", "epoch_w", "epoch_h", intensity_column="delta")
+    )
+    spectral.addLayer(epoch_layer)
+    app.addCanvas(spectral)
+
+    # -- temporal detail canvas ----------------------------------------------------
+    temporal = Canvas(
+        "temporal",
+        width=max(4096.0, total_ms),  # one pixel per millisecond
+        height=max(1024.0, spec.channels * TEMPORAL_LANE * 2),
+    )
+    temporal.addTransform(Transform.empty())
+    temporal.addTransform(
+        Transform(
+            transform_id="sampleTrans",
+            query="SELECT sample_id, channel, t_ms, value, bbox FROM eeg_samples",
+            columns=("sample_id", "channel", "t_ms", "value", "bbox", "px", "py"),
+            transform_func=lambda row: {
+                **row,
+                "px": row["t_ms"],
+                "py": row["channel"] * TEMPORAL_LANE
+                + TEMPORAL_LANE / 2.0
+                + row["value"],
+            },
+        )
+    )
+    temporal_legend = Layer("empty", True)
+    temporal_legend.addRenderingFunc(legend_renderer("raw EEG traces (µV)"))
+    temporal.addLayer(temporal_legend)
+
+    sample_layer = Layer("sampleTrans", False)
+    sample_layer.addPlacement(ColumnPlacement(x_column="px", y_column="py", width=1, height=1))
+    sample_layer.addRenderingFunc(line_renderer("px", "py"))
+    temporal.addLayer(sample_layer)
+    app.addCanvas(temporal)
+
+    # -- semantic zoom: epoch -> raw traces of that time range ---------------------
+    app.addJump(
+        Jump(
+            "spectral", "temporal", "semantic_zoom",
+            selector=lambda row, layer_id: layer_id == 1,
+            new_viewport=lambda row: (row["t_ms"], row["channel"] * TEMPORAL_LANE),
+            name=lambda row: f"Raw traces at {row['t_ms'] / 1000.0:.0f}s",
+        )
+    )
+    app.addJump(Jump("temporal", "spectral", "semantic_zoom"))
+    app.initialCanvas("spectral", 0, 0)
+    return app, database
+
+
+def main() -> dict[str, float]:
+    """Explore the synthetic recording: overview, zoom into an epoch, pan."""
+    spec = EEGSpec(channels=4, sample_rate_hz=64.0, duration_s=600.0)
+    app, database = build_eeg_application(spec)
+    compiled = compile_application(app)
+    backend = KyrixBackend(database, compiled, app.config)
+    print("precomputing placement tables for both canvases ...")
+    reports = backend.precompute()
+    for report in reports:
+        print(f"  layer {report.layer}: {report.rows} objects placed "
+              f"({report.elapsed_ms:.0f} ms)")
+
+    frontend = KyrixFrontend(backend, dbox_scheme(), render=True)
+    load = frontend.load_initial_canvas()
+    print(f"[spectral] initial load: {load.total_ms:.1f} ms, "
+          f"{load.objects_fetched} epochs")
+
+    # Click a mid-recording epoch on the epoch layer (layer index 1).
+    epochs = frontend.visible_objects[1]
+    clicked = epochs[len(epochs) // 2]
+    jump = frontend.click(clicked, layer_index=1)
+    print(f"[temporal] semantic zoom to t={clicked['t_ms'] / 1000:.0f}s: "
+          f"{jump.total_ms:.1f} ms, {jump.objects_fetched} samples")
+
+    pan = frontend.pan_by(2000, 0)
+    print(f"[temporal] pan 2s forward: {pan.total_ms:.1f} ms")
+    print(f"average response time: {frontend.average_response_ms():.1f} ms")
+    return {"load_ms": load.total_ms, "jump_ms": jump.total_ms, "pan_ms": pan.total_ms}
+
+
+if __name__ == "__main__":
+    main()

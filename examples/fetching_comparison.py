@@ -1,0 +1,60 @@
+"""Compare fetching schemes on the paper's synthetic workloads.
+
+A command-line rendition of Section 3.3: runs the eight fetching schemes of
+Figures 6 and 7 over the three viewport-movement traces of Figure 5, on the
+Uniform and Skewed datasets, and prints the per-trace average response times
+as a table and an ASCII bar chart.
+
+Run with::
+
+    python examples/fetching_comparison.py            # smoke scale (fast)
+    python examples/fetching_comparison.py --bench    # benchmark scale
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import (
+    build_stack,
+    figure6,
+    figure7,
+    format_comparison,
+    format_experiment_table,
+    format_figure,
+    speedup_summary,
+)
+
+
+def main(scale: str = "smoke") -> None:
+    print(f"running the Figure 6 / Figure 7 measurement loop at {scale!r} scale\n")
+
+    uniform = figure6(scale=scale)
+    print(format_figure(uniform, title="Figure 6 — Uniform dataset"))
+    print()
+    print(format_experiment_table(uniform))
+    print()
+
+    skewed = figure7(scale=scale)
+    print(format_figure(skewed, title="Figure 7 — Skewed dataset"))
+    print()
+    print(format_experiment_table(skewed))
+    print()
+
+    print("dbox vs the best static-tile scheme (tile spatial 1024):")
+    for experiment in (uniform, skewed):
+        speedups = speedup_summary(experiment, "tile spatial 1024", "dbox")
+        formatted = ", ".join(f"trace-{t}: {s:.2f}x" for t, s in speedups.items())
+        print(f"  {experiment.dataset:8s} {formatted}")
+    print()
+    print(format_comparison([uniform, skewed], ["dbox", "dbox 50%", "tile spatial 1024"]))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench", action="store_true",
+        help="run at full benchmark scale (250k dots) instead of smoke scale",
+    )
+    arguments = parser.parse_args()
+    main(scale="bench" if arguments.bench else "smoke")

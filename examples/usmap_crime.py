@@ -1,0 +1,173 @@
+"""The paper's example application: an interactive map of US crime rates.
+
+Reproduces Figures 2 and 3: a two-canvas application where the initial
+canvas shows a state-level crime-rate choropleth and clicking a state jumps
+(geometric + semantic zoom) into a pannable county-level canvas centred on
+the clicked state.  The declarative specification below intentionally reads
+like the JavaScript snippet of Figure 3 — ``App``, ``Canvas``, ``Layer``,
+``addTransform``, ``addJump``, ``initialCanvas`` — but in Python.
+
+Run with::
+
+    python examples/usmap_crime.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.apps import default_config
+from repro.client import KyrixFrontend
+from repro.compiler import compile_application
+from repro.core import (
+    App,
+    Canvas,
+    ColumnPlacement,
+    Jump,
+    Layer,
+    Transform,
+    choropleth_renderer,
+    legend_renderer,
+)
+from repro.datagen import USMapSpec, load_usmap
+from repro.server import KyrixBackend, dbox50_scheme
+from repro.storage import Database
+
+
+def build_usmap_application(spec: USMapSpec | None = None) -> tuple[App, Database]:
+    """Build the two-canvas US crime-rate application and its database."""
+    spec = spec or USMapSpec()
+    config = default_config(viewport=1024)
+    database = Database(config.storage)
+    load_usmap(database, spec)
+
+    # -- construct an application object (Figure 3, line 2) -------------------
+    app = App("usmap", config=config)
+
+    # ================== state map canvas ====================================
+    state_map_canvas = Canvas(
+        "statemap", width=spec.state_canvas_width, height=spec.state_canvas_height
+    )
+    app.addCanvas(state_map_canvas)
+
+    # add data transforms
+    state_map_canvas.addTransform(Transform.empty())
+    state_map_canvas.addTransform(
+        Transform(
+            transform_id="stateMapTrans",
+            query="SELECT state_id, name, cx, cy, width, height, rate, bbox FROM states",
+            columns=("state_id", "name", "cx", "cy", "width", "height", "rate", "bbox"),
+        )
+    )
+
+    # static legend layer
+    state_map_legend_layer = Layer("empty", True)
+    state_map_canvas.addLayer(state_map_legend_layer)
+    state_map_legend_layer.addRenderingFunc(legend_renderer("state crime rate"))
+
+    # state border layer
+    state_border_layer = Layer("stateMapTrans", False)
+    state_map_canvas.addLayer(state_border_layer)
+    state_border_layer.addPlacement(
+        ColumnPlacement(x_column="cx", y_column="cy", width="width", height="height")
+    )
+    state_border_layer.addRenderingFunc(
+        choropleth_renderer("cx", "cy", "width", "height", "rate", value_range=(0, 10))
+    )
+
+    # ================== county map canvas ====================================
+    county_map_canvas = Canvas(
+        "countymap",
+        width=spec.county_canvas_width,
+        height=spec.county_canvas_height,
+        zoom_level=spec.county_zoom,
+    )
+    app.addCanvas(county_map_canvas)
+    county_map_canvas.addTransform(Transform.empty())
+    county_map_canvas.addTransform(
+        Transform(
+            transform_id="countyMapTrans",
+            query=(
+                "SELECT county_id, state_id, name, cx, cy, width, height, rate, bbox "
+                "FROM counties"
+            ),
+            columns=(
+                "county_id", "state_id", "name", "cx", "cy", "width", "height",
+                "rate", "bbox",
+            ),
+        )
+    )
+    county_legend_layer = Layer("empty", True)
+    county_map_canvas.addLayer(county_legend_layer)
+    county_legend_layer.addRenderingFunc(legend_renderer("county crime rate"))
+
+    county_layer = Layer("countyMapTrans", False)
+    county_map_canvas.addLayer(county_layer)
+    county_layer.addPlacement(
+        ColumnPlacement(x_column="cx", y_column="cy", width="width", height="height")
+    )
+    county_layer.addRenderingFunc(
+        choropleth_renderer("cx", "cy", "width", "height", "rate", value_range=(0, 12))
+    )
+
+    # =================== state -> county jump ================================
+    def selector(row, layer_id):
+        # Only clicks on the state border layer (layer 1) trigger the jump.
+        return layer_id == 1
+
+    def new_viewport(row):
+        # Center the county canvas on the clicked state (Figure 3 line 31
+        # multiplies state coordinates by the zoom factor).
+        return (0, row["cx"] * spec.county_zoom, row["cy"] * spec.county_zoom)
+
+    def jump_name(row):
+        return f"County map of {row['name']}"
+
+    app.addJump(
+        Jump(
+            "statemap", "countymap", "geometric_semantic_zoom",
+            selector=selector, new_viewport=new_viewport, name=jump_name,
+        )
+    )
+    # A jump back from the county map to the state overview.
+    app.addJump(Jump("countymap", "statemap", "semantic_zoom"))
+
+    # set initial canvas
+    app.initialCanvas("statemap", 0, 0)
+    return app, database
+
+
+def main() -> dict[str, float]:
+    """Drive the application through the interaction of Figure 2."""
+    spec = USMapSpec()
+    app, database = build_usmap_application(spec)
+    compiled = compile_application(app)
+    backend = KyrixBackend(database, compiled, app.config)
+    backend.precompute()
+
+    frontend = KyrixFrontend(backend, dbox50_scheme(), render=True)
+    load = frontend.load_initial_canvas()
+    print(f"[statemap] initial load: {load.total_ms:.1f} ms, "
+          f"{load.objects_fetched} states fetched")
+
+    # Figure 2(a)->(c): click a state, zoom into the county map centred on it.
+    clicked_state = frontend.visible_objects[1][-1]
+    jumps = frontend.available_jumps(clicked_state, layer_index=1)
+    print(f"clicking {clicked_state['name']} offers: "
+          f"{[label for _, label in jumps]}")
+    jump_latency = frontend.click(clicked_state, layer_index=1)
+    print(f"[countymap] jump: {jump_latency.total_ms:.1f} ms, "
+          f"{jump_latency.objects_fetched} counties fetched")
+
+    # Figure 2(d): pan on the county-level map.
+    pan_latency = frontend.pan_by(2048, 0)
+    print(f"[countymap] pan: {pan_latency.total_ms:.1f} ms")
+
+    print(f"average response time: {frontend.average_response_ms():.1f} ms")
+    return {
+        "load_ms": load.total_ms,
+        "jump_ms": jump_latency.total_ms,
+        "pan_ms": pan_latency.total_ms,
+    }
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""Ready-made Kyrix applications used by the benchmarks and examples.
+
+The evaluation application is deliberately simple — one canvas, one dot
+layer over a synthetic dataset — because the experiments compare *fetching
+schemes*, not applications.  :func:`build_dots_backend` assembles the whole
+stack (database, dataset, declarative spec, compiled plan, backend) in one
+call so the benchmark harness and the quickstart example stay short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler import CompiledApplication, compile_application
+from ..config import CacheConfig, KyrixConfig, NetworkConfig, PrefetchConfig, StorageConfig
+from ..core import (
+    App,
+    Application,
+    Canvas,
+    ColumnPlacement,
+    Layer,
+    Transform,
+    dot_renderer,
+)
+from ..datagen.synthetic import DotDatasetSpec, load_dots
+from ..server.backend import KyrixBackend
+from ..storage.database import Database
+
+
+@dataclass
+class DotsStack:
+    """Everything needed to drive the dots application."""
+
+    spec: DotDatasetSpec
+    database: Database
+    application: Application
+    compiled: CompiledApplication
+    backend: KyrixBackend
+
+    @property
+    def canvas_id(self) -> str:
+        return "dots"
+
+
+def default_config(
+    *,
+    viewport: int = 1024,
+    cache_enabled: bool = True,
+    prefetch_enabled: bool = False,
+    rtt_ms: float = 2.0,
+    bandwidth_mbps: float = 1000.0,
+) -> KyrixConfig:
+    """The configuration used by the benchmarks (LAN-like link, caches on)."""
+    return KyrixConfig(
+        app_name="dots",
+        storage=StorageConfig(),
+        network=NetworkConfig(rtt_ms=rtt_ms, bandwidth_mbps=bandwidth_mbps),
+        cache=CacheConfig(enabled=cache_enabled),
+        prefetch=PrefetchConfig(enabled=prefetch_enabled),
+        viewport_width=viewport,
+        viewport_height=viewport,
+    )
+
+
+def build_dots_application(
+    dataset: DotDatasetSpec, config: KyrixConfig | None = None
+) -> Application:
+    """Build the declarative spec of the dots application for ``dataset``.
+
+    One canvas the size of the dataset's canvas, with a single dynamic layer
+    whose transform selects every dot and whose placement reads x/y straight
+    from the raw columns (the *separable* case — precomputation is skipped
+    and queries hit the raw table's spatial index, exactly like the paper's
+    synthetic-dot experiments).
+    """
+    config = config or default_config()
+    app = App(name="dots", config=config)
+
+    canvas = Canvas(
+        canvas_id="dots",
+        width=dataset.canvas_width,
+        height=dataset.canvas_height,
+    )
+    transform = Transform(
+        transform_id="dots_transform",
+        query=f"SELECT tuple_id, x, y, bbox FROM {dataset.name}",
+        columns=("tuple_id", "x", "y", "bbox"),
+        separable=True,
+        x_column="x",
+        y_column="y",
+    )
+    canvas.add_transform(transform)
+    layer = Layer(transform_id="dots_transform", static=False)
+    layer.add_placement(
+        ColumnPlacement(
+            x_column="x",
+            y_column="y",
+            width=dataset.half_extent * 2,
+            height=dataset.half_extent * 2,
+        )
+    )
+    layer.add_rendering_func(dot_renderer("x", "y", radius=dataset.half_extent))
+    canvas.add_layer(layer)
+
+    app.add_canvas(canvas)
+    app.set_initial_canvas("dots", 0.0, 0.0)
+    return app
+
+
+def build_dots_backend(
+    dataset: DotDatasetSpec,
+    *,
+    config: KyrixConfig | None = None,
+    tile_sizes: tuple[int, ...] = (),
+    precompute_placement: bool = False,
+) -> DotsStack:
+    """Assemble database + data + compiled app + backend for ``dataset``.
+
+    Parameters
+    ----------
+    tile_sizes:
+        Tile sizes to pre-build tuple–tile mapping tables for (the mapping
+        design builds them lazily otherwise, which would pollute the first
+        measured request).
+    precompute_placement:
+        When true, the layer is forced through full placement
+        precomputation even though it is separable — used by the
+        separability ablation (experiment E8).
+    """
+    config = config or default_config()
+    database = Database(config.storage)
+    load_dots(database, dataset)
+
+    application = build_dots_application(dataset, config)
+    if precompute_placement:
+        transform = application.canvas("dots").transforms["dots_transform"]
+        transform.separable = False
+    compiled = compile_application(application)
+    backend = KyrixBackend(database, compiled, config)
+    backend.precompute(tile_sizes=tile_sizes)
+    return DotsStack(
+        spec=dataset,
+        database=database,
+        application=application,
+        compiled=compiled,
+        backend=backend,
+    )

@@ -1,0 +1,114 @@
+"""Plain-text report rendering for experiment results.
+
+The paper presents Figures 6 and 7 as grouped bar charts (average response
+time per scheme, grouped by trace).  Offline and headless, the closest
+faithful rendering is a text table plus an ASCII bar chart; both are
+produced here so the benchmark harness can print something a reader can put
+side by side with the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .harness import ExperimentResult, SchemeResult
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns or rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_experiment_table(experiment: ExperimentResult) -> str:
+    """The full per-scheme, per-trace result table of an experiment."""
+    rows = [result.row() for result in experiment.results]
+    columns = [
+        "scheme", "trace", "avg_ms", "p95_ms", "query_ms", "network_ms",
+        "requests", "objects", "kilobytes",
+    ]
+    return format_table(rows, columns)
+
+
+def format_figure(
+    experiment: ExperimentResult,
+    *,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """An ASCII rendition of a grouped bar chart (one group per trace).
+
+    Mirrors the layout of Figures 6 and 7: for each trace, one bar per
+    fetching scheme, lengths proportional to average response time.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    traces = sorted({result.trace for result in experiment.results})
+    max_ms = max((r.average_response_ms for r in experiment.results), default=1.0) or 1.0
+    label_width = max(
+        (len(result.scheme) for result in experiment.results), default=10
+    )
+    for trace in traces:
+        lines.append(f"Trace-{trace}")
+        for result in experiment.by_trace(trace):
+            bar_length = int(round(result.average_response_ms / max_ms * width))
+            bar = "#" * max(1, bar_length) if result.average_response_ms > 0 else ""
+            lines.append(
+                f"  {result.scheme.ljust(label_width)} | "
+                f"{bar} {result.average_response_ms:8.2f} ms"
+            )
+        lines.append("")
+    winners = experiment.best_scheme_per_trace()
+    lines.append(
+        "winners: "
+        + ", ".join(f"trace-{trace}: {scheme}" for trace, scheme in winners.items())
+    )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    experiments: Iterable[ExperimentResult], scheme_names: Sequence[str]
+) -> str:
+    """Cross-dataset comparison of a few schemes (who wins by what factor)."""
+    rows = []
+    for experiment in experiments:
+        for scheme in scheme_names:
+            try:
+                average = experiment.scheme_average(scheme)
+            except KeyError:
+                continue
+            rows.append(
+                {
+                    "dataset": experiment.dataset,
+                    "scheme": scheme,
+                    "mean_of_trace_averages_ms": round(average, 2),
+                }
+            )
+    return format_table(rows, ["dataset", "scheme", "mean_of_trace_averages_ms"])
+
+
+def speedup_summary(experiment: ExperimentResult, baseline: str, candidate: str) -> dict[str, float]:
+    """Per-trace speedup of ``candidate`` over ``baseline`` (>1 = candidate faster)."""
+    speedups: dict[str, float] = {}
+    for trace in sorted({r.trace for r in experiment.results}):
+        base = next(r for r in experiment.by_trace(trace) if r.scheme == baseline)
+        cand = next(r for r in experiment.by_trace(trace) if r.scheme == candidate)
+        if cand.average_response_ms <= 0:
+            continue
+        speedups[trace] = base.average_response_ms / cand.average_response_ms
+    return speedups

@@ -1,0 +1,13 @@
+"""The Kyrix frontend: viewport state, interactions, caching and rendering."""
+
+from .frontend import KyrixFrontend
+from .renderer import RasterRenderer, RenderStats
+from .session import ExplorationSession, SessionResult
+
+__all__ = [
+    "ExplorationSession",
+    "KyrixFrontend",
+    "RasterRenderer",
+    "RenderStats",
+    "SessionResult",
+]

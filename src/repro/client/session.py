@@ -1,0 +1,127 @@
+"""Exploration sessions: scripted sequences of user interactions.
+
+The benchmark harness and the examples drive the frontend through
+*viewport movement traces* (Figure 5) and jump sequences.  An
+:class:`ExplorationSession` wraps a frontend, replays a trace, and returns
+the per-step latency metrics, excluding the initial canvas load (the paper
+measures response time per pan step, not cold start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..core.viewport import Viewport
+from ..metrics.collector import LatencyBreakdown, MetricsCollector
+from .frontend import KyrixFrontend
+
+
+@dataclass
+class SessionResult:
+    """Outcome of replaying one trace."""
+
+    steps: int
+    average_response_ms: float
+    metrics: MetricsCollector
+    initial_load: LatencyBreakdown | None = None
+
+    def component_averages(self) -> dict[str, float]:
+        return self.metrics.component_averages()
+
+    def total_requests(self) -> int:
+        return self.metrics.total_requests()
+
+    def total_objects(self) -> int:
+        return self.metrics.total_objects()
+
+
+class ExplorationSession:
+    """Replays interaction traces against a :class:`KyrixFrontend`."""
+
+    def __init__(self, frontend: KyrixFrontend) -> None:
+        self.frontend = frontend
+
+    def run_trace(
+        self,
+        canvas_id: str,
+        positions: Sequence[tuple[float, float]],
+        *,
+        viewport_width: float | None = None,
+        viewport_height: float | None = None,
+    ) -> SessionResult:
+        """Load ``canvas_id`` at the first position, then pan through the rest.
+
+        ``positions`` are viewport top-left corners in canvas coordinates.
+        The initial load is *not* counted in the per-step metrics, matching
+        the paper's measurement of pan response times.
+        """
+        if not positions:
+            raise ValueError("a trace needs at least one viewport position")
+        width = viewport_width or self.frontend.config.viewport_width
+        height = viewport_height or self.frontend.config.viewport_height
+
+        first_x, first_y = positions[0]
+        initial = self.frontend.load_canvas(
+            canvas_id, Viewport(first_x, first_y, width, height)
+        )
+        # Reset metrics so only the pan steps are measured.
+        self.frontend.metrics.reset()
+        self.frontend.link.reset()
+
+        for x, y in positions[1:]:
+            self.frontend.pan_to(x, y)
+
+        metrics = self.frontend.metrics
+        return SessionResult(
+            steps=len(positions) - 1,
+            average_response_ms=metrics.average_response_ms(),
+            metrics=metrics,
+            initial_load=initial,
+        )
+
+    def run_interactions(self, interactions: Iterable[dict[str, Any]]) -> SessionResult:
+        """Replay a mixed sequence of interactions.
+
+        Each interaction is a dictionary with an ``action`` key:
+
+        * ``{"action": "load", "canvas": ..., "x": ..., "y": ...}``
+        * ``{"action": "pan_to", "x": ..., "y": ...}``
+        * ``{"action": "pan_by", "dx": ..., "dy": ...}``
+        * ``{"action": "click", "row": {...}, "layer": 0}``
+
+        The initial ``load`` (if first) is excluded from metrics, as in
+        :meth:`run_trace`.
+        """
+        initial: LatencyBreakdown | None = None
+        steps = 0
+        for index, interaction in enumerate(interactions):
+            action = interaction["action"]
+            if action == "load":
+                viewport = Viewport(
+                    interaction.get("x", 0.0),
+                    interaction.get("y", 0.0),
+                    interaction.get("width", self.frontend.config.viewport_width),
+                    interaction.get("height", self.frontend.config.viewport_height),
+                )
+                breakdown = self.frontend.load_canvas(interaction["canvas"], viewport)
+                if index == 0:
+                    initial = breakdown
+                    self.frontend.metrics.reset()
+                    continue
+            elif action == "pan_to":
+                self.frontend.pan_to(interaction["x"], interaction["y"])
+            elif action == "pan_by":
+                self.frontend.pan_by(interaction["dx"], interaction["dy"])
+            elif action == "click":
+                self.frontend.click(interaction["row"], interaction.get("layer", 0))
+            else:
+                raise ValueError(f"unknown interaction action {action!r}")
+            steps += 1
+        metrics = self.frontend.metrics
+        return SessionResult(
+            steps=steps,
+            average_response_ms=metrics.average_response_ms(),
+            metrics=metrics,
+            initial_load=initial,
+        )

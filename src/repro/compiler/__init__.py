@@ -1,0 +1,21 @@
+"""The Kyrix compiler: constraint checking and plan generation.
+
+``compile_application`` validates a declarative
+:class:`~repro.core.application.Application` and lowers it to a
+:class:`~repro.compiler.plan.CompiledApplication` that the backend server
+executes against.
+"""
+
+from .compiler import compile_application
+from .plan import CanvasPlan, CompiledApplication, LayerPlan, placement_table_name
+from .validator import collect_issues, validate
+
+__all__ = [
+    "CanvasPlan",
+    "CompiledApplication",
+    "LayerPlan",
+    "collect_issues",
+    "compile_application",
+    "placement_table_name",
+    "validate",
+]

@@ -1,0 +1,179 @@
+"""Global configuration objects for the Kyrix reproduction.
+
+The original Kyrix reads a ``config.txt`` file naming the backing DBMS and
+the web-server ports.  Here the equivalent is :class:`KyrixConfig`, a plain
+dataclass that applications pass to :class:`repro.core.application.Application`.
+It bundles the storage-engine configuration, the simulated network link
+parameters and the interactivity budget (the paper's 500 ms goal).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .errors import KyrixError
+
+#: The interactivity budget the paper targets for every interaction (ms).
+INTERACTIVITY_BUDGET_MS = 500.0
+
+
+@dataclass
+class StorageConfig:
+    """Configuration of the embedded storage engine.
+
+    Attributes
+    ----------
+    page_size:
+        Size of a heap-file page in bytes.  Records never span pages, so the
+        page size bounds the maximum record size.
+    buffer_pool_pages:
+        Number of pages the buffer pool keeps in memory before evicting.
+    simulate_io:
+        When true, the pager charges ``page_read_ms`` / ``page_write_ms`` of
+        simulated latency for every page miss, emulating a disk-backed DBMS.
+    page_read_ms / page_write_ms:
+        Simulated latency per page read / write miss, in milliseconds.
+    """
+
+    page_size: int = 8192
+    buffer_pool_pages: int = 1024
+    simulate_io: bool = False
+    page_read_ms: float = 0.05
+    page_write_ms: float = 0.08
+
+    def validate(self) -> None:
+        if self.page_size < 512:
+            raise KyrixError(f"page_size must be >= 512 bytes, got {self.page_size}")
+        if self.buffer_pool_pages < 8:
+            raise KyrixError(
+                f"buffer_pool_pages must be >= 8, got {self.buffer_pool_pages}"
+            )
+        if self.page_read_ms < 0 or self.page_write_ms < 0:
+            raise KyrixError("simulated I/O latencies must be non-negative")
+
+
+@dataclass
+class NetworkConfig:
+    """Parameters of the simulated frontend <-> backend link.
+
+    The paper's experiments ran the browser and the backend on the same EC2
+    instance, so the defaults model a fast local link.  The per-request
+    round-trip time is the term that penalises fetching schemes that issue
+    many small requests (e.g. 256-pixel tiles); the bandwidth term penalises
+    schemes that transfer a lot of data (e.g. 4096-pixel tiles).
+    """
+
+    rtt_ms: float = 2.0
+    bandwidth_mbps: float = 1000.0
+    per_object_bytes: int = 64
+    request_overhead_bytes: int = 256
+    simulate_delay: bool = False
+
+    def validate(self) -> None:
+        if self.rtt_ms < 0:
+            raise KyrixError("rtt_ms must be non-negative")
+        if self.bandwidth_mbps <= 0:
+            raise KyrixError("bandwidth_mbps must be positive")
+        if self.per_object_bytes <= 0:
+            raise KyrixError("per_object_bytes must be positive")
+
+
+@dataclass
+class CacheConfig:
+    """Sizes of the backend and frontend caches (number of cached responses)."""
+
+    backend_entries: int = 256
+    frontend_entries: int = 64
+    enabled: bool = True
+
+    def validate(self) -> None:
+        if self.backend_entries < 0 or self.frontend_entries < 0:
+            raise KyrixError("cache sizes must be non-negative")
+
+
+@dataclass
+class PrefetchConfig:
+    """Configuration of the momentum-based prefetcher (Section 4)."""
+
+    enabled: bool = False
+    strategy: str = "momentum"
+    lookahead_steps: int = 1
+    history_window: int = 4
+
+    def validate(self) -> None:
+        if self.strategy not in ("momentum", "semantic", "none"):
+            raise KyrixError(f"unknown prefetch strategy: {self.strategy!r}")
+        if self.lookahead_steps < 0:
+            raise KyrixError("lookahead_steps must be non-negative")
+        if self.history_window < 1:
+            raise KyrixError("history_window must be >= 1")
+
+
+@dataclass
+class KyrixConfig:
+    """Top-level configuration for a Kyrix application.
+
+    The equivalent of the ``config.txt`` file referenced in the paper's
+    example (``new App("usmap", "config.txt")``).
+    """
+
+    app_name: str = "kyrix-app"
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
+    interactivity_budget_ms: float = INTERACTIVITY_BUDGET_MS
+    viewport_width: int = 1000
+    viewport_height: int = 1000
+    random_seed: int = 1729
+
+    def validate(self) -> None:
+        """Raise :class:`KyrixError` if any sub-configuration is invalid."""
+        if not self.app_name:
+            raise KyrixError("app_name must be a non-empty string")
+        if self.viewport_width <= 0 or self.viewport_height <= 0:
+            raise KyrixError("viewport dimensions must be positive")
+        if self.interactivity_budget_ms <= 0:
+            raise KyrixError("interactivity_budget_ms must be positive")
+        self.storage.validate()
+        self.network.validate()
+        self.cache.validate()
+        self.prefetch.validate()
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-serialisable dictionary of this configuration."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "KyrixConfig":
+        """Build a configuration from a (possibly partial) dictionary."""
+        known = dict(data)
+        storage = StorageConfig(**known.pop("storage", {}))
+        network = NetworkConfig(**known.pop("network", {}))
+        cache = CacheConfig(**known.pop("cache", {}))
+        prefetch = PrefetchConfig(**known.pop("prefetch", {}))
+        config = cls(
+            storage=storage, network=network, cache=cache, prefetch=prefetch, **known
+        )
+        config.validate()
+        return config
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "KyrixConfig":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "KyrixConfig":
+        """Load a configuration from a JSON file (the ``config.txt`` analogue)."""
+        return cls.from_json(Path(path).read_text())
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())

@@ -1,0 +1,58 @@
+"""The Kyrix declarative model.
+
+This package implements the paper's two basic abstractions — *canvas* and
+*jump* — plus the pieces a layer is specified with: a data *transform* (SQL
+query + post-processing function), a *placement* function and a *rendering*
+function.  An :class:`~repro.core.application.Application` ties them
+together, and the JS-flavoured aliases (``App``, ``addCanvas``, ``addJump``,
+``initialCanvas`` ...) let the examples read like the paper's Figure 3.
+"""
+
+from .application import App, Application
+from .canvas import Canvas
+from .spec import (
+    FunctionRegistry,
+    application_from_dict,
+    application_from_json,
+    application_to_dict,
+    application_to_json,
+)
+from .jump import Jump, JumpType
+from .layer import Layer
+from .placement import CallablePlacement, ColumnPlacement, Placement
+from .rendering import (
+    Renderer,
+    choropleth_renderer,
+    dot_renderer,
+    legend_renderer,
+    line_renderer,
+    rect_renderer,
+)
+from .transform import EMPTY_TRANSFORM_ID, Transform
+from .viewport import Viewport
+
+__all__ = [
+    "App",
+    "Application",
+    "FunctionRegistry",
+    "application_from_dict",
+    "application_from_json",
+    "application_to_dict",
+    "application_to_json",
+    "CallablePlacement",
+    "Canvas",
+    "ColumnPlacement",
+    "EMPTY_TRANSFORM_ID",
+    "Jump",
+    "JumpType",
+    "Layer",
+    "Placement",
+    "Renderer",
+    "Transform",
+    "Viewport",
+    "choropleth_renderer",
+    "dot_renderer",
+    "legend_renderer",
+    "line_renderer",
+    "rect_renderer",
+]

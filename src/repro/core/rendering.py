@@ -1,0 +1,180 @@
+"""Rendering functions: canvas objects to pixels.
+
+Section 2.1(3): "A rendering function that converts a canvas object to
+pixels on the screen."  In the original system these are D3 snippets run in
+the browser; here a rendering function is a Python callable invoked by the
+frontend's raster renderer (:mod:`repro.client.renderer`) for every fetched
+object.  A small library of ready-made renderers (dots, rectangles,
+choropleth polygons approximated by their bounding boxes, text labels) is
+provided so examples don't have to hand-roll pixel math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SpecError
+
+#: A render instruction understood by the frontend raster renderer.
+#: ``kind`` is one of "dot", "rect", "label"; coordinates are canvas-space.
+RenderPrimitive = dict[str, Any]
+
+#: Signature of a rendering function: one object row -> list of primitives.
+RenderingFunc = Callable[[dict[str, Any]], list[RenderPrimitive]]
+
+
+@dataclass
+class Renderer:
+    """A named rendering function."""
+
+    name: str
+    func: RenderingFunc
+
+    def __post_init__(self) -> None:
+        if not callable(self.func):
+            raise SpecError(f"renderer {self.name!r} requires a callable")
+
+    def render(self, row: dict[str, Any]) -> list[RenderPrimitive]:
+        primitives = self.func(dict(row))
+        if not isinstance(primitives, list):
+            raise SpecError(
+                f"renderer {self.name!r} must return a list of primitives, "
+                f"got {type(primitives).__name__}"
+            )
+        return primitives
+
+
+# ---------------------------------------------------------------------------
+# Built-in renderers
+# ---------------------------------------------------------------------------
+
+
+def dot_renderer(
+    x_column: str = "x",
+    y_column: str = "y",
+    radius: float = 1.0,
+    intensity: float = 1.0,
+) -> Renderer:
+    """Render each object as a dot at ``(row[x_column], row[y_column])``."""
+
+    def _render(row: dict[str, Any]) -> list[RenderPrimitive]:
+        return [
+            {
+                "kind": "dot",
+                "x": float(row[x_column]),
+                "y": float(row[y_column]),
+                "radius": radius,
+                "intensity": intensity,
+            }
+        ]
+
+    return Renderer(name=f"dot({x_column},{y_column})", func=_render)
+
+
+def rect_renderer(
+    x_column: str = "x",
+    y_column: str = "y",
+    width_column: str | None = None,
+    height_column: str | None = None,
+    width: float = 10.0,
+    height: float = 10.0,
+    intensity_column: str | None = None,
+) -> Renderer:
+    """Render each object as an axis-aligned rectangle centred on its x/y."""
+
+    def _render(row: dict[str, Any]) -> list[RenderPrimitive]:
+        w = float(row[width_column]) if width_column else width
+        h = float(row[height_column]) if height_column else height
+        intensity = float(row[intensity_column]) if intensity_column else 1.0
+        return [
+            {
+                "kind": "rect",
+                "x": float(row[x_column]),
+                "y": float(row[y_column]),
+                "width": w,
+                "height": h,
+                "intensity": intensity,
+            }
+        ]
+
+    return Renderer(name="rect", func=_render)
+
+
+def choropleth_renderer(
+    x_column: str = "x",
+    y_column: str = "y",
+    width_column: str = "width",
+    height_column: str = "height",
+    value_column: str = "rate",
+    value_range: tuple[float, float] = (0.0, 1.0),
+) -> Renderer:
+    """Render regions (states / counties) as filled rectangles whose
+    intensity encodes ``value_column`` — the crime-rate map of Figure 2."""
+
+    low, high = value_range
+    span = (high - low) or 1.0
+
+    def _render(row: dict[str, Any]) -> list[RenderPrimitive]:
+        value = float(row.get(value_column, low))
+        intensity = min(1.0, max(0.0, (value - low) / span))
+        return [
+            {
+                "kind": "rect",
+                "x": float(row[x_column]),
+                "y": float(row[y_column]),
+                "width": float(row[width_column]),
+                "height": float(row[height_column]),
+                "intensity": intensity,
+            },
+            {
+                "kind": "label",
+                "x": float(row[x_column]),
+                "y": float(row[y_column]),
+                "text": str(row.get("name", "")),
+            },
+        ]
+
+    return Renderer(name="choropleth", func=_render)
+
+
+def legend_renderer(text: str = "legend") -> Renderer:
+    """A static legend box pinned to the viewport's top-right corner.
+
+    The frontend treats primitives with ``viewport_anchored=True`` as screen
+    space rather than canvas space, which is what static layers need.
+    """
+
+    def _render(row: dict[str, Any]) -> list[RenderPrimitive]:
+        return [
+            {
+                "kind": "label",
+                "x": 0.0,
+                "y": 0.0,
+                "text": text,
+                "viewport_anchored": True,
+            }
+        ]
+
+    return Renderer(name=f"legend({text})", func=_render)
+
+
+def line_renderer(
+    x_column: str = "t",
+    y_column: str = "value",
+    intensity: float = 1.0,
+) -> Renderer:
+    """Render time-series samples (EEG traces) as short vertical ticks."""
+
+    def _render(row: dict[str, Any]) -> list[RenderPrimitive]:
+        return [
+            {
+                "kind": "dot",
+                "x": float(row[x_column]),
+                "y": float(row[y_column]),
+                "radius": 0.5,
+                "intensity": intensity,
+            }
+        ]
+
+    return Renderer(name="line", func=_render)

@@ -1,0 +1,276 @@
+"""JSON (de)serialisation of declarative application specifications.
+
+The original Kyrix stores developer specifications as files that the
+compiler reads ("Developer spec -> compile" in Figure 1).  This module
+provides the equivalent round trip for the Python model: an
+:class:`~repro.core.application.Application` can be exported to a plain JSON
+document and rebuilt from one.
+
+Callables (transform functions, callable placements, renderers, jump
+selectors/viewport functions) cannot be serialised directly; they are
+referenced *by name* through a :class:`FunctionRegistry` the caller
+populates.  Declarative pieces (column placements, SQL queries, jump types,
+canvas geometry) are serialised literally.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from ..config import KyrixConfig
+from ..errors import SpecError
+from .application import Application
+from .canvas import Canvas
+from .jump import Jump
+from .layer import Layer
+from .placement import CallablePlacement, ColumnPlacement, Placement
+from .rendering import Renderer
+from .transform import Transform
+
+
+class FunctionRegistry:
+    """Named callables referenced by serialised specifications."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, Callable] = {}
+        self._renderers: dict[str, Renderer] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, name: str, func: Callable) -> None:
+        """Register a plain callable (transform func, placement, selector...)."""
+        if not callable(func):
+            raise SpecError(f"registry entry {name!r} must be callable")
+        self._functions[name] = func
+
+    def register_renderer(self, name: str, renderer: Renderer) -> None:
+        if not isinstance(renderer, Renderer):
+            raise SpecError(f"registry entry {name!r} must be a Renderer")
+        self._renderers[name] = renderer
+
+    # -- lookup --------------------------------------------------------------
+
+    def function(self, name: str) -> Callable:
+        if name not in self._functions:
+            raise SpecError(f"no function registered under {name!r}")
+        return self._functions[name]
+
+    def renderer(self, name: str) -> Renderer:
+        if name not in self._renderers:
+            raise SpecError(f"no renderer registered under {name!r}")
+        return self._renderers[name]
+
+    def name_of(self, func: Callable) -> str | None:
+        """Reverse lookup of a registered callable (None when unregistered)."""
+        for name, registered in self._functions.items():
+            if registered is func:
+                return name
+        return None
+
+    def name_of_renderer(self, renderer: Renderer) -> str | None:
+        for name, registered in self._renderers.items():
+            if registered is renderer:
+                return name
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Export
+# ---------------------------------------------------------------------------
+
+
+def application_to_dict(app: Application, registry: FunctionRegistry | None = None) -> dict[str, Any]:
+    """Serialise an application to a JSON-compatible dictionary.
+
+    Callables that are not present in ``registry`` are exported as ``null``
+    references; importing such a spec requires re-attaching them manually.
+    """
+    registry = registry or FunctionRegistry()
+    return {
+        "name": app.name,
+        "config": app.config.to_dict(),
+        "initial_canvas": app.initial_canvas_id,
+        "initial_viewport": [app.initial_viewport_x, app.initial_viewport_y],
+        "canvases": [
+            _canvas_to_dict(canvas, registry) for canvas in app.canvases.values()
+        ],
+        "jumps": [_jump_to_dict(jump, registry) for jump in app.jumps],
+    }
+
+
+def application_to_json(app: Application, registry: FunctionRegistry | None = None) -> str:
+    return json.dumps(application_to_dict(app, registry), indent=2, sort_keys=True)
+
+
+def _canvas_to_dict(canvas: Canvas, registry: FunctionRegistry) -> dict[str, Any]:
+    return {
+        "id": canvas.canvas_id,
+        "width": canvas.width,
+        "height": canvas.height,
+        "zoom_level": canvas.zoom_level,
+        "transforms": [
+            {
+                "id": transform.transform_id,
+                "query": transform.query,
+                "columns": list(transform.columns),
+                "separable": transform.separable,
+                "x_column": transform.x_column,
+                "y_column": transform.y_column,
+                "x_scale": transform.x_scale,
+                "y_scale": transform.y_scale,
+                "transform_func": (
+                    registry.name_of(transform.transform_func)
+                    if transform.transform_func is not None
+                    else None
+                ),
+            }
+            for transform in canvas.transforms.values()
+        ],
+        "layers": [_layer_to_dict(layer, registry) for layer in canvas.layers],
+    }
+
+
+def _layer_to_dict(layer: Layer, registry: FunctionRegistry) -> dict[str, Any]:
+    return {
+        "name": layer.name,
+        "transform": layer.transform_id,
+        "static": layer.static,
+        "fetching": layer.fetching,
+        "placement": _placement_to_dict(layer.placement, registry),
+        "renderer": (
+            registry.name_of_renderer(layer.renderer) if layer.renderer else None
+        ),
+    }
+
+
+def _placement_to_dict(placement: Placement | None, registry: FunctionRegistry) -> dict[str, Any] | None:
+    if placement is None:
+        return None
+    if isinstance(placement, ColumnPlacement):
+        return {
+            "kind": "column",
+            "x_column": placement.x_column,
+            "y_column": placement.y_column,
+            "width": placement.width,
+            "height": placement.height,
+            "x_scale": placement.x_scale,
+            "y_scale": placement.y_scale,
+            "x_offset": placement.x_offset,
+            "y_offset": placement.y_offset,
+        }
+    if isinstance(placement, CallablePlacement):
+        return {"kind": "callable", "function": registry.name_of(placement.func)}
+    raise SpecError(f"cannot serialise placement of type {type(placement).__name__}")
+
+
+def _jump_to_dict(jump: Jump, registry: FunctionRegistry) -> dict[str, Any]:
+    return {
+        "source": jump.source,
+        "destination": jump.destination,
+        "type": jump.jump_type.value,
+        "selector": registry.name_of(jump.selector),
+        "new_viewport": (
+            registry.name_of(jump.new_viewport) if jump.new_viewport else None
+        ),
+        "name": registry.name_of(jump.name),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Import
+# ---------------------------------------------------------------------------
+
+
+def application_from_dict(data: dict[str, Any], registry: FunctionRegistry | None = None) -> Application:
+    """Rebuild an application from :func:`application_to_dict` output."""
+    registry = registry or FunctionRegistry()
+    config = KyrixConfig.from_dict(data.get("config", {}))
+    app = Application(name=data["name"], config=config)
+
+    for canvas_data in data.get("canvases", []):
+        canvas = Canvas(
+            canvas_id=canvas_data["id"],
+            width=canvas_data["width"],
+            height=canvas_data["height"],
+            zoom_level=canvas_data.get("zoom_level", 1.0),
+        )
+        for transform_data in canvas_data.get("transforms", []):
+            func_name = transform_data.get("transform_func")
+            canvas.add_transform(
+                Transform(
+                    transform_id=transform_data["id"],
+                    query=transform_data.get("query", ""),
+                    columns=tuple(transform_data.get("columns", ())),
+                    separable=transform_data.get("separable", False),
+                    x_column=transform_data.get("x_column"),
+                    y_column=transform_data.get("y_column"),
+                    x_scale=transform_data.get("x_scale", 1.0),
+                    y_scale=transform_data.get("y_scale", 1.0),
+                    transform_func=registry.function(func_name) if func_name else None,
+                )
+            )
+        for layer_data in canvas_data.get("layers", []):
+            layer = Layer(
+                transform_id=layer_data["transform"],
+                static=layer_data.get("static", False),
+                name=layer_data.get("name"),
+                fetching=layer_data.get("fetching"),
+            )
+            placement = _placement_from_dict(layer_data.get("placement"), registry)
+            if placement is not None:
+                layer.add_placement(placement)
+            renderer_name = layer_data.get("renderer")
+            if renderer_name:
+                layer.add_rendering_func(registry.renderer(renderer_name))
+            canvas.add_layer(layer)
+        app.add_canvas(canvas)
+
+    for jump_data in data.get("jumps", []):
+        kwargs: dict[str, Any] = {}
+        if jump_data.get("selector"):
+            kwargs["selector"] = registry.function(jump_data["selector"])
+        if jump_data.get("new_viewport"):
+            kwargs["new_viewport"] = registry.function(jump_data["new_viewport"])
+        if jump_data.get("name"):
+            kwargs["name"] = registry.function(jump_data["name"])
+        app.add_jump(
+            Jump(
+                source=jump_data["source"],
+                destination=jump_data["destination"],
+                jump_type=jump_data.get("type", "semantic_zoom"),
+                **kwargs,
+            )
+        )
+
+    initial = data.get("initial_canvas")
+    if initial:
+        viewport = data.get("initial_viewport", [0.0, 0.0])
+        app.set_initial_canvas(initial, viewport[0], viewport[1])
+    return app
+
+
+def application_from_json(text: str, registry: FunctionRegistry | None = None) -> Application:
+    return application_from_dict(json.loads(text), registry)
+
+
+def _placement_from_dict(data: dict[str, Any] | None, registry: FunctionRegistry) -> Placement | None:
+    if data is None:
+        return None
+    if data.get("kind") == "column":
+        return ColumnPlacement(
+            x_column=data["x_column"],
+            y_column=data["y_column"],
+            width=data.get("width", 1.0),
+            height=data.get("height", 1.0),
+            x_scale=data.get("x_scale", 1.0),
+            y_scale=data.get("y_scale", 1.0),
+            x_offset=data.get("x_offset", 0.0),
+            y_offset=data.get("y_offset", 0.0),
+        )
+    if data.get("kind") == "callable":
+        function_name = data.get("function")
+        if not function_name:
+            raise SpecError("callable placement in spec has no registered function name")
+        return CallablePlacement(func=registry.function(function_name), name=function_name)
+    raise SpecError(f"unknown placement kind {data.get('kind')!r}")

@@ -1,0 +1,94 @@
+"""Viewports and canvas-space geometry.
+
+A *canvas* in Kyrix is an arbitrarily sized worksheet; the *viewport* is the
+window (typically the browser window) through which the user looks at a
+canvas.  Panning moves the viewport across the canvas; a jump moves the
+viewport to another canvas.  The viewport is the unit the frontend asks the
+backend to fill with data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ViewportError
+from ..storage.rtree import Rect
+
+
+@dataclass(frozen=True)
+class Viewport:
+    """A rectangular window onto a canvas.
+
+    ``x`` and ``y`` are the canvas-space coordinates of the viewport's
+    top-left corner; ``width`` and ``height`` are its pixel dimensions.
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ViewportError(
+                f"viewport dimensions must be positive: {self.width}x{self.height}"
+            )
+
+    # -- derived geometry -----------------------------------------------------
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def to_rect(self) -> Rect:
+        """The viewport as a :class:`~repro.storage.rtree.Rect`."""
+        return Rect(self.x, self.y, self.x + self.width, self.y + self.height)
+
+    def area(self) -> float:
+        return self.width * self.height
+
+    # -- movement --------------------------------------------------------------
+
+    def panned(self, dx: float, dy: float) -> "Viewport":
+        """Return a viewport moved by ``(dx, dy)`` canvas pixels."""
+        return Viewport(self.x + dx, self.y + dy, self.width, self.height)
+
+    def moved_to(self, x: float, y: float) -> "Viewport":
+        """Return a viewport whose top-left corner is at ``(x, y)``."""
+        return Viewport(x, y, self.width, self.height)
+
+    def centered_at(self, cx: float, cy: float) -> "Viewport":
+        """Return a viewport of the same size centred on ``(cx, cy)``."""
+        return Viewport(cx - self.width / 2.0, cy - self.height / 2.0, self.width, self.height)
+
+    def clamped_to(self, canvas_width: float, canvas_height: float) -> "Viewport":
+        """Return a viewport shifted (not resized) to lie within the canvas.
+
+        Viewports larger than the canvas are anchored at the canvas origin.
+        """
+        x = min(max(self.x, 0.0), max(0.0, canvas_width - self.width))
+        y = min(max(self.y, 0.0), max(0.0, canvas_height - self.height))
+        return Viewport(x, y, self.width, self.height)
+
+    def within(self, canvas_width: float, canvas_height: float) -> bool:
+        """True when the viewport lies entirely inside the canvas."""
+        return (
+            self.x >= 0
+            and self.y >= 0
+            and self.x + self.width <= canvas_width
+            and self.y + self.height <= canvas_height
+        )
+
+    def intersects(self, other: "Viewport") -> bool:
+        return self.to_rect().intersects(other.to_rect())
+
+    def overlap_fraction(self, other: "Viewport") -> float:
+        """Fraction of this viewport's area covered by ``other``."""
+        overlap = self.to_rect().intersection(other.to_rect())
+        if overlap is None:
+            return 0.0
+        return overlap.area / self.area()
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Viewport":
+        return cls(rect.xmin, rect.ymin, rect.width, rect.height)

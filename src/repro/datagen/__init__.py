@@ -1,0 +1,61 @@
+"""Synthetic data generators for the datasets the paper uses or motivates.
+
+* :mod:`repro.datagen.synthetic` — the *Uniform* and *Skewed* dot datasets
+  of the evaluation (Section 3.3),
+* :mod:`repro.datagen.traces` — the viewport movement traces of Figure 5,
+* :mod:`repro.datagen.usmap` — a synthetic US states/counties crime-rate map
+  for the example application of Figures 2/3,
+* :mod:`repro.datagen.eeg` — synthetic multi-channel sleep EEG for the MGH
+  scenario of Section 4.
+"""
+
+from .eeg import EEGSpec, generate_channel, generate_epoch_features, generate_samples, load_eeg
+from .synthetic import (
+    DotDatasetSpec,
+    PAPER_DENSITY,
+    generate_points,
+    generate_rows,
+    load_dots,
+    paper_scale_spec,
+    skewed_spec,
+    tiny_spec,
+    uniform_spec,
+)
+from .traces import (
+    TRACE_TILE_SIZE,
+    Trace,
+    paper_traces,
+    random_walk_trace,
+    trace_a,
+    trace_b,
+    trace_c,
+)
+from .usmap import USMapSpec, generate_counties, generate_states, load_usmap
+
+__all__ = [
+    "DotDatasetSpec",
+    "EEGSpec",
+    "PAPER_DENSITY",
+    "TRACE_TILE_SIZE",
+    "Trace",
+    "USMapSpec",
+    "generate_channel",
+    "generate_counties",
+    "generate_epoch_features",
+    "generate_points",
+    "generate_rows",
+    "generate_samples",
+    "generate_states",
+    "load_dots",
+    "load_eeg",
+    "load_usmap",
+    "paper_scale_spec",
+    "paper_traces",
+    "random_walk_trace",
+    "skewed_spec",
+    "tiny_spec",
+    "trace_a",
+    "trace_b",
+    "trace_c",
+    "uniform_spec",
+]

@@ -1,0 +1,157 @@
+"""Synthetic EEG (electroencephalogram) data.
+
+Section 4 describes a collaboration with MGH neurologists who "want to be
+able to interactively explore 50 terabytes of EEG data collected from
+sleeping subjects" with a temporal view, a spectral view and a clustering
+view.  Real EEG recordings are not available offline, so this module
+synthesises multi-channel sleep-like EEG: a mixture of band-limited
+oscillations (delta/theta/alpha/spindle activity) plus noise, organised into
+epochs — enough structure for the EEG example application to exercise the
+same code paths (long time-series canvas, per-channel layers, semantic zoom
+from a spectral overview into raw traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..storage.database import Database
+from ..storage.table import Table
+
+#: Frequency bands (Hz) mixed into the synthetic signal, with sleep-ish weights.
+BANDS = {
+    "delta": (0.5, 4.0, 3.0),
+    "theta": (4.0, 8.0, 1.5),
+    "alpha": (8.0, 12.0, 1.0),
+    "spindle": (12.0, 15.0, 0.8),
+}
+
+
+@dataclass(frozen=True)
+class EEGSpec:
+    """Parameters of the synthetic EEG recording."""
+
+    channels: int = 4
+    sample_rate_hz: float = 64.0
+    duration_s: float = 600.0
+    epoch_s: float = 30.0
+    amplitude_uv: float = 50.0
+    seed: int = 7
+
+    @property
+    def samples_per_channel(self) -> int:
+        return int(self.sample_rate_hz * self.duration_s)
+
+    @property
+    def epochs(self) -> int:
+        return int(self.duration_s / self.epoch_s)
+
+
+def generate_channel(spec: EEGSpec, channel: int) -> np.ndarray:
+    """Synthesise one channel as a float array of micro-volt samples."""
+    rng = np.random.default_rng(spec.seed + channel)
+    t = np.arange(spec.samples_per_channel) / spec.sample_rate_hz
+    signal = np.zeros_like(t)
+    for low, high, weight in BANDS.values():
+        frequency = rng.uniform(low, high)
+        phase = rng.uniform(0, 2 * np.pi)
+        signal += weight * np.sin(2 * np.pi * frequency * t + phase)
+    signal += rng.normal(0.0, 0.5, size=t.shape)
+    signal *= spec.amplitude_uv / max(1e-9, np.abs(signal).max())
+    return signal
+
+
+def generate_samples(spec: EEGSpec) -> Iterator[tuple]:
+    """Yield rows ``(sample_id, channel, t_ms, value, bbox)``.
+
+    The bbox places each sample on the temporal canvas: x = time in
+    milliseconds, y = channel lane offset + scaled amplitude.
+    """
+    lane_height = spec.amplitude_uv * 4.0
+    sample_id = 0
+    for channel in range(spec.channels):
+        signal = generate_channel(spec, channel)
+        lane_center = channel * lane_height + lane_height / 2.0
+        for index, value in enumerate(signal):
+            t_ms = index / spec.sample_rate_hz * 1000.0
+            y = lane_center + float(value)
+            yield (
+                sample_id,
+                channel,
+                t_ms,
+                float(value),
+                (t_ms - 0.5, y - 0.5, t_ms + 0.5, y + 0.5),
+            )
+            sample_id += 1
+
+
+def generate_epoch_features(spec: EEGSpec) -> Iterator[tuple]:
+    """Yield per-epoch spectral features ``(epoch_id, channel, t_ms, delta, theta, alpha, spindle, bbox)``.
+
+    Band powers are computed with a simple FFT per epoch — the data behind
+    the "spectral view" of the MGH scenario.
+    """
+    samples_per_epoch = int(spec.epoch_s * spec.sample_rate_hz)
+    lane_height = 100.0
+    epoch_id = 0
+    for channel in range(spec.channels):
+        signal = generate_channel(spec, channel)
+        lane_center = channel * lane_height + lane_height / 2.0
+        for epoch in range(spec.epochs):
+            chunk = signal[epoch * samples_per_epoch : (epoch + 1) * samples_per_epoch]
+            if len(chunk) == 0:
+                continue
+            spectrum = np.abs(np.fft.rfft(chunk)) ** 2
+            freqs = np.fft.rfftfreq(len(chunk), d=1.0 / spec.sample_rate_hz)
+            powers = []
+            for low, high, _ in BANDS.values():
+                mask = (freqs >= low) & (freqs < high)
+                powers.append(float(spectrum[mask].sum()) if mask.any() else 0.0)
+            t_ms = epoch * spec.epoch_s * 1000.0
+            bbox = (
+                t_ms,
+                lane_center - lane_height / 2.0,
+                t_ms + spec.epoch_s * 1000.0,
+                lane_center + lane_height / 2.0,
+            )
+            yield (epoch_id, channel, t_ms, *powers, bbox)
+            epoch_id += 1
+
+
+def load_eeg(database: Database, spec: EEGSpec | None = None) -> tuple[Table, Table]:
+    """Create and populate the ``eeg_samples`` and ``eeg_epochs`` tables."""
+    spec = spec or EEGSpec()
+    samples = database.create_table(
+        "eeg_samples",
+        [
+            ("sample_id", "integer"),
+            ("channel", "integer"),
+            ("t_ms", "float"),
+            ("value", "float"),
+            ("bbox", "bbox"),
+        ],
+    )
+    samples.bulk_load(generate_samples(spec))
+    samples.create_index("eeg_samples_id", "sample_id", "btree", unique=True)
+    samples.create_index("eeg_samples_bbox", "bbox", "rtree")
+
+    epochs = database.create_table(
+        "eeg_epochs",
+        [
+            ("epoch_id", "integer"),
+            ("channel", "integer"),
+            ("t_ms", "float"),
+            ("delta", "float"),
+            ("theta", "float"),
+            ("alpha", "float"),
+            ("spindle", "float"),
+            ("bbox", "bbox"),
+        ],
+    )
+    epochs.bulk_load(generate_epoch_features(spec))
+    epochs.create_index("eeg_epochs_id", "epoch_id", "btree", unique=True)
+    epochs.create_index("eeg_epochs_bbox", "bbox", "rtree")
+    return samples, epochs

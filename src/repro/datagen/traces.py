@@ -1,0 +1,214 @@
+"""Viewport movement traces (Figure 5).
+
+Three traces drive the evaluation:
+
+* **trace a** — the viewport is always aligned with the boundaries of
+  1024-pixel tiles; it moves leftwards six steps (each one tile length)
+  and then vertically up six steps.
+* **trace b** — the same movement, but the viewport is never aligned with
+  tile boundaries (it starts offset by half a tile).
+* **trace c** — the viewport moves diagonally from bottom-left to top-right
+  in six steps.
+
+A trace is a list of viewport top-left positions; the first position is the
+initial load and each subsequent position is one pan step.  The default
+starting points are chosen so that, on the Skewed dataset's default dense
+region, the traces cross in and out of the dense area — mirroring Figure 5
+where the traces overlap the shaded region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import KyrixError
+
+#: The tile size the traces are defined against (Figure 5's dotted grid).
+TRACE_TILE_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A named sequence of viewport top-left positions."""
+
+    name: str
+    positions: tuple[tuple[float, float], ...]
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    @property
+    def steps(self) -> int:
+        """Number of pan steps (positions after the initial load)."""
+        return max(0, len(self.positions) - 1)
+
+    def bounding_box(self, viewport_w: float, viewport_h: float) -> tuple[float, float, float, float]:
+        """The canvas region touched by the trace (for sanity checks)."""
+        xs = [p[0] for p in self.positions]
+        ys = [p[1] for p in self.positions]
+        return (min(xs), min(ys), max(xs) + viewport_w, max(ys) + viewport_h)
+
+
+def _validate_fit(
+    positions: Sequence[tuple[float, float]],
+    canvas_width: float,
+    canvas_height: float,
+    viewport_w: float,
+    viewport_h: float,
+    name: str,
+) -> None:
+    for x, y in positions:
+        if x < 0 or y < 0 or x + viewport_w > canvas_width or y + viewport_h > canvas_height:
+            raise KyrixError(
+                f"trace {name!r}: position ({x}, {y}) puts the viewport outside "
+                f"the {canvas_width}x{canvas_height} canvas"
+            )
+
+
+def trace_a(
+    canvas_width: float,
+    canvas_height: float,
+    *,
+    viewport_w: float = 1024.0,
+    viewport_h: float = 1024.0,
+    tile_size: int = TRACE_TILE_SIZE,
+    steps_each: int = 6,
+) -> Trace:
+    """Tile-aligned trace: left ``steps_each`` tiles, then up ``steps_each``.
+
+    The start position is tile-aligned and placed so the whole trace fits on
+    the canvas and passes through the default dense region of the Skewed
+    dataset (which spans 30 %–70 % of the width and 25 %–75 % of the height).
+    """
+    start_col = int((canvas_width * 0.75) // tile_size)
+    start_row = int((canvas_height * 0.65) // tile_size)
+    # Clamp so that moving left/up by steps_each tiles stays on canvas.
+    start_col = min(start_col, int(canvas_width // tile_size) - 1)
+    start_col = max(start_col, steps_each)
+    start_row = min(start_row, int((canvas_height - viewport_h) // tile_size))
+    start_row = max(start_row, steps_each)
+    x = float(start_col * tile_size)
+    y = float(start_row * tile_size)
+
+    positions = [(x, y)]
+    for _ in range(steps_each):
+        x -= tile_size
+        positions.append((x, y))
+    for _ in range(steps_each):
+        y -= tile_size
+        positions.append((x, y))
+    _validate_fit(positions, canvas_width, canvas_height, viewport_w, viewport_h, "a")
+    return Trace(
+        name="a",
+        positions=tuple(positions),
+        description="tile-aligned: six steps left, six steps up",
+    )
+
+
+def trace_b(
+    canvas_width: float,
+    canvas_height: float,
+    *,
+    viewport_w: float = 1024.0,
+    viewport_h: float = 1024.0,
+    tile_size: int = TRACE_TILE_SIZE,
+    steps_each: int = 6,
+) -> Trace:
+    """Misaligned trace: the same movement as trace a, offset by half a tile."""
+    aligned = trace_a(
+        canvas_width,
+        canvas_height,
+        viewport_w=viewport_w,
+        viewport_h=viewport_h,
+        tile_size=tile_size,
+        steps_each=steps_each,
+    )
+    offset = tile_size / 2.0
+    positions = [(x + offset, y + offset) for x, y in aligned.positions]
+    _validate_fit(positions, canvas_width, canvas_height, viewport_w, viewport_h, "b")
+    return Trace(
+        name="b",
+        positions=tuple(positions),
+        description="never tile-aligned: six steps left, six steps up, offset by half a tile",
+    )
+
+
+def trace_c(
+    canvas_width: float,
+    canvas_height: float,
+    *,
+    viewport_w: float = 1024.0,
+    viewport_h: float = 1024.0,
+    tile_size: int = TRACE_TILE_SIZE,
+    steps: int = 6,
+) -> Trace:
+    """Diagonal trace: bottom-left to top-right in ``steps`` steps."""
+    # Start near the bottom-left third of the canvas, end toward the top-right,
+    # crossing the dense region of the Skewed dataset on the way.
+    x = canvas_width * 0.30 - (canvas_width * 0.30) % tile_size + tile_size / 2.0
+    y = canvas_height - viewport_h - tile_size / 2.0
+    step_dx = tile_size
+    step_dy = -min(tile_size, (y - tile_size / 2.0) / steps)
+    positions = [(x, y)]
+    for _ in range(steps):
+        x += step_dx
+        y += step_dy
+        positions.append((x, y))
+    _validate_fit(positions, canvas_width, canvas_height, viewport_w, viewport_h, "c")
+    return Trace(
+        name="c",
+        positions=tuple(positions),
+        description="diagonal: bottom-left to top-right in six steps",
+    )
+
+
+def paper_traces(
+    canvas_width: float,
+    canvas_height: float,
+    *,
+    viewport_w: float = 1024.0,
+    viewport_h: float = 1024.0,
+    tile_size: int = TRACE_TILE_SIZE,
+) -> dict[str, Trace]:
+    """All three traces of Figure 5, keyed by name."""
+    return {
+        "a": trace_a(
+            canvas_width, canvas_height,
+            viewport_w=viewport_w, viewport_h=viewport_h, tile_size=tile_size,
+        ),
+        "b": trace_b(
+            canvas_width, canvas_height,
+            viewport_w=viewport_w, viewport_h=viewport_h, tile_size=tile_size,
+        ),
+        "c": trace_c(
+            canvas_width, canvas_height,
+            viewport_w=viewport_w, viewport_h=viewport_h, tile_size=tile_size,
+        ),
+    }
+
+
+def random_walk_trace(
+    canvas_width: float,
+    canvas_height: float,
+    *,
+    viewport_w: float = 1024.0,
+    viewport_h: float = 1024.0,
+    steps: int = 12,
+    step_size: float = 1024.0,
+    seed: int = 0,
+) -> Trace:
+    """A random-walk trace (not in the paper; used for ablations and tests)."""
+    import random
+
+    rng = random.Random(seed)
+    x = canvas_width / 2.0
+    y = canvas_height / 2.0
+    positions = [(x, y)]
+    for _ in range(steps):
+        dx, dy = rng.choice([(1, 0), (-1, 0), (0, 1), (0, -1)])
+        x = min(max(0.0, x + dx * step_size), canvas_width - viewport_w)
+        y = min(max(0.0, y + dy * step_size), canvas_height - viewport_h)
+        positions.append((x, y))
+    return Trace(name=f"random-{seed}", positions=tuple(positions), description="random walk")

@@ -1,0 +1,162 @@
+"""Synthetic US crime-rate map data (the example application of Figure 2/3).
+
+The paper's example visualises US crime rates per state and per county.  The
+real shapefiles and crime statistics are not available offline, so this
+module generates a synthetic-but-structured stand-in: a grid of "states",
+each subdivided into a grid of "counties", with crime rates drawn from a
+seeded random generator.  The spatial structure (every county lies inside
+its state, county canvases are a zoomed-in version of the state canvas) is
+what the example and its jump need; the actual numbers are irrelevant to the
+reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..storage.database import Database
+from ..storage.table import Table
+
+#: Names used for the synthetic states (7 x 7 grid = 49 "states").
+STATE_GRID = 7
+COUNTIES_PER_STATE_SIDE = 5
+
+
+@dataclass(frozen=True)
+class USMapSpec:
+    """Parameters of the synthetic US map.
+
+    The state canvas is ``state_canvas_width x state_canvas_height``; the
+    county canvas is the same map magnified by ``county_zoom`` (the paper's
+    example multiplies coordinates by 5 in its ``newViewport`` function).
+    """
+
+    state_canvas_width: float = 7_000.0
+    state_canvas_height: float = 7_000.0
+    county_zoom: float = 5.0
+    state_grid: int = STATE_GRID
+    counties_per_state_side: int = COUNTIES_PER_STATE_SIDE
+    seed: int = 42
+
+    @property
+    def county_canvas_width(self) -> float:
+        return self.state_canvas_width * self.county_zoom
+
+    @property
+    def county_canvas_height(self) -> float:
+        return self.state_canvas_height * self.county_zoom
+
+    @property
+    def state_count(self) -> int:
+        return self.state_grid * self.state_grid
+
+    @property
+    def county_count(self) -> int:
+        return self.state_count * self.counties_per_state_side**2
+
+
+def _state_name(index: int) -> str:
+    return f"State-{index:02d}"
+
+
+def _county_name(state_index: int, county_index: int) -> str:
+    return f"County-{state_index:02d}-{county_index:02d}"
+
+
+def generate_states(spec: USMapSpec) -> Iterator[tuple]:
+    """Yield state rows ``(state_id, name, cx, cy, width, height, rate, bbox)``."""
+    rng = np.random.default_rng(spec.seed)
+    cell_w = spec.state_canvas_width / spec.state_grid
+    cell_h = spec.state_canvas_height / spec.state_grid
+    for row in range(spec.state_grid):
+        for col in range(spec.state_grid):
+            state_id = row * spec.state_grid + col
+            width = cell_w * 0.9
+            height = cell_h * 0.9
+            cx = col * cell_w + cell_w / 2.0
+            cy = row * cell_h + cell_h / 2.0
+            rate = float(rng.uniform(0.5, 9.5))
+            bbox = (cx - width / 2, cy - height / 2, cx + width / 2, cy + height / 2)
+            yield (state_id, _state_name(state_id), cx, cy, width, height, rate, bbox)
+
+
+def generate_counties(spec: USMapSpec) -> Iterator[tuple]:
+    """Yield county rows ``(county_id, state_id, name, cx, cy, width, height, rate, bbox)``.
+
+    County coordinates live on the (larger) county canvas: the state canvas
+    scaled by ``county_zoom``.
+    """
+    rng = np.random.default_rng(spec.seed + 1)
+    zoom = spec.county_zoom
+    cell_w = spec.state_canvas_width / spec.state_grid * zoom
+    cell_h = spec.state_canvas_height / spec.state_grid * zoom
+    side = spec.counties_per_state_side
+    county_id = 0
+    for state_row in range(spec.state_grid):
+        for state_col in range(spec.state_grid):
+            state_id = state_row * spec.state_grid + state_col
+            state_x0 = state_col * cell_w
+            state_y0 = state_row * cell_h
+            sub_w = cell_w / side
+            sub_h = cell_h / side
+            for sub_row in range(side):
+                for sub_col in range(side):
+                    width = sub_w * 0.85
+                    height = sub_h * 0.85
+                    cx = state_x0 + sub_col * sub_w + sub_w / 2.0
+                    cy = state_y0 + sub_row * sub_h + sub_h / 2.0
+                    rate = float(rng.uniform(0.1, 12.0))
+                    bbox = (
+                        cx - width / 2, cy - height / 2,
+                        cx + width / 2, cy + height / 2,
+                    )
+                    yield (
+                        county_id, state_id,
+                        _county_name(state_id, county_id), cx, cy,
+                        width, height, rate, bbox,
+                    )
+                    county_id += 1
+
+
+def load_usmap(database: Database, spec: USMapSpec | None = None) -> tuple[Table, Table]:
+    """Create and populate the ``states`` and ``counties`` tables."""
+    spec = spec or USMapSpec()
+    states = database.create_table(
+        "states",
+        [
+            ("state_id", "integer"),
+            ("name", "text"),
+            ("cx", "float"),
+            ("cy", "float"),
+            ("width", "float"),
+            ("height", "float"),
+            ("rate", "float"),
+            ("bbox", "bbox"),
+        ],
+    )
+    states.bulk_load(generate_states(spec))
+    states.create_index("states_id", "state_id", "btree", unique=True)
+    states.create_index("states_bbox", "bbox", "rtree")
+
+    counties = database.create_table(
+        "counties",
+        [
+            ("county_id", "integer"),
+            ("state_id", "integer"),
+            ("name", "text"),
+            ("cx", "float"),
+            ("cy", "float"),
+            ("width", "float"),
+            ("height", "float"),
+            ("rate", "float"),
+            ("bbox", "bbox"),
+        ],
+    )
+    counties.bulk_load(generate_counties(spec))
+    counties.create_index("counties_id", "county_id", "btree", unique=True)
+    counties.create_index("counties_state", "state_id", "btree")
+    counties.create_index("counties_bbox", "bbox", "rtree")
+    return states, counties

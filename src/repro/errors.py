@@ -1,0 +1,151 @@
+"""Exception hierarchy for the Kyrix reproduction.
+
+Every error raised by the library derives from :class:`KyrixError` so that
+callers can catch a single base class.  Sub-hierarchies mirror the major
+subsystems: the storage engine, the mini SQL layer, the declarative
+specification / compiler, the backend server and the frontend client.
+"""
+
+from __future__ import annotations
+
+
+class KyrixError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Storage engine
+# ---------------------------------------------------------------------------
+
+
+class StorageError(KyrixError):
+    """Base class for storage-engine failures."""
+
+
+class SchemaError(StorageError):
+    """A table schema is malformed or violated (unknown column, bad type)."""
+
+
+class DuplicateTableError(StorageError):
+    """An attempt was made to create a table that already exists."""
+
+
+class UnknownTableError(StorageError):
+    """A statement referenced a table that does not exist in the catalog."""
+
+
+class DuplicateIndexError(StorageError):
+    """An attempt was made to create an index whose name is already taken."""
+
+
+class UnknownIndexError(StorageError):
+    """An index name could not be resolved in the catalog."""
+
+
+class DuplicateKeyError(StorageError):
+    """A unique index rejected an insert because the key already exists."""
+
+
+class RecordNotFoundError(StorageError):
+    """A record id (rid) did not resolve to a live record."""
+
+
+class PageError(StorageError):
+    """A page could not be read, written or allocated."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value's Python type does not match the declared column type."""
+
+
+# ---------------------------------------------------------------------------
+# Mini SQL layer
+# ---------------------------------------------------------------------------
+
+
+class SQLError(KyrixError):
+    """Base class for SQL-layer failures."""
+
+
+class SQLSyntaxError(SQLError):
+    """The query text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class SQLPlanError(SQLError):
+    """The query is syntactically valid but cannot be planned
+    (unknown table/column, unsupported construct)."""
+
+
+class SQLExecutionError(SQLError):
+    """A runtime failure while executing a planned query."""
+
+
+# ---------------------------------------------------------------------------
+# Declarative model and compiler
+# ---------------------------------------------------------------------------
+
+
+class SpecError(KyrixError):
+    """Base class for errors in the declarative application specification."""
+
+
+class ValidationError(SpecError):
+    """The compiler's constraint checker rejected the specification.
+
+    ``issues`` carries the full list of human-readable problems so that a
+    developer can fix all of them in one pass.
+    """
+
+    def __init__(self, issues: list[str]) -> None:
+        super().__init__("; ".join(issues) if issues else "invalid specification")
+        self.issues = list(issues)
+
+
+class CompileError(SpecError):
+    """The specification passed validation but could not be compiled."""
+
+
+# ---------------------------------------------------------------------------
+# Backend server
+# ---------------------------------------------------------------------------
+
+
+class ServerError(KyrixError):
+    """Base class for backend-server failures."""
+
+
+class UnknownCanvasError(ServerError):
+    """A request referenced a canvas id that is not part of the application."""
+
+
+class UnknownLayerError(ServerError):
+    """A request referenced a layer index that does not exist on the canvas."""
+
+
+class FetchError(ServerError):
+    """A data-fetch request could not be satisfied."""
+
+
+class PrecomputeError(ServerError):
+    """Placement precomputation / indexing failed."""
+
+
+# ---------------------------------------------------------------------------
+# Frontend client
+# ---------------------------------------------------------------------------
+
+
+class ClientError(KyrixError):
+    """Base class for frontend failures."""
+
+
+class JumpError(ClientError):
+    """A jump was requested that is not defined from the current canvas."""
+
+
+class ViewportError(ClientError):
+    """A viewport move would place the viewport outside the canvas."""

@@ -1,0 +1,20 @@
+"""Timing and statistics utilities used throughout the reproduction.
+
+The paper's evaluation reports the *average response time per interaction
+step*.  :class:`~repro.metrics.collector.MetricsCollector` accumulates
+per-step latencies (broken down into query, transfer and render components)
+and :class:`~repro.metrics.timer.Timer` / :class:`~repro.metrics.timer.VirtualClock`
+provide wall-clock and simulated-time measurement.
+"""
+
+from .collector import LatencyBreakdown, MetricsCollector, SummaryStats, summarize
+from .timer import Timer, VirtualClock
+
+__all__ = [
+    "LatencyBreakdown",
+    "MetricsCollector",
+    "SummaryStats",
+    "summarize",
+    "Timer",
+    "VirtualClock",
+]

@@ -1,0 +1,184 @@
+"""Per-interaction latency accounting.
+
+Every user interaction (a pan step or a jump) produces one
+:class:`LatencyBreakdown`.  The :class:`MetricsCollector` accumulates them and
+computes the summary statistics the paper reports (average response time per
+step), plus percentiles useful for checking the 500 ms interactivity budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class LatencyBreakdown:
+    """Latency components (milliseconds) of a single interaction step.
+
+    Attributes
+    ----------
+    query_ms:
+        Time spent executing database queries on the backend.
+    network_ms:
+        Simulated network time: round trips plus transfer time.
+    render_ms:
+        Time the frontend spent rasterising the returned objects.
+    cache_hit:
+        True when the step was served entirely from a cache (frontend or
+        backend) and no database query ran.
+    requests:
+        Number of frontend -> backend requests issued for this step.
+    objects_fetched:
+        Number of data objects returned across all requests of this step.
+    bytes_fetched:
+        Serialized payload size across all requests of this step.
+    """
+
+    query_ms: float = 0.0
+    network_ms: float = 0.0
+    render_ms: float = 0.0
+    cache_hit: bool = False
+    requests: int = 0
+    objects_fetched: int = 0
+    bytes_fetched: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        """Total response time of the step."""
+        return self.query_ms + self.network_ms + self.render_ms
+
+    def merge(self, other: "LatencyBreakdown") -> None:
+        """Fold another breakdown (e.g. one per request) into this step."""
+        self.query_ms += other.query_ms
+        self.network_ms += other.network_ms
+        self.render_ms += other.render_ms
+        self.requests += other.requests
+        self.objects_fetched += other.objects_fetched
+        self.bytes_fetched += other.bytes_fetched
+        self.cache_hit = self.cache_hit and other.cache_hit
+
+
+@dataclass
+class SummaryStats:
+    """Summary statistics over a sequence of per-step response times."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    def within_budget(self, budget_ms: float) -> bool:
+        """Check the paper's interactivity requirement against the p95."""
+        return self.p95 <= budget_ms
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of an already sorted sequence."""
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return sorted_values[low]
+    weight = rank - low
+    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` for an iterable of latencies."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarise an empty latency sequence")
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((v - mean) ** 2 for v in data) / count
+    return SummaryStats(
+        count=count,
+        mean=mean,
+        median=_percentile(data, 0.5),
+        p95=_percentile(data, 0.95),
+        minimum=data[0],
+        maximum=data[-1],
+        stddev=math.sqrt(variance),
+    )
+
+
+class MetricsCollector:
+    """Accumulates :class:`LatencyBreakdown` records for a session or run."""
+
+    def __init__(self) -> None:
+        self._steps: list[LatencyBreakdown] = []
+        self.counters: dict[str, int] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, breakdown: LatencyBreakdown) -> None:
+        """Append one interaction step's breakdown."""
+        self._steps.append(breakdown)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named counter (cache hits, prefetch issues, ...)."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def reset(self) -> None:
+        self._steps.clear()
+        self.counters.clear()
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def steps(self) -> list[LatencyBreakdown]:
+        """The recorded steps, in order."""
+        return list(self._steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def total_times(self) -> list[float]:
+        return [step.total_ms for step in self._steps]
+
+    def summary(self) -> SummaryStats:
+        """Summary statistics of total per-step response time."""
+        return summarize(self.total_times())
+
+    def average_response_ms(self) -> float:
+        """The paper's headline metric: average response time per step."""
+        times = self.total_times()
+        if not times:
+            return 0.0
+        return sum(times) / len(times)
+
+    def component_averages(self) -> dict[str, float]:
+        """Average of each latency component across steps."""
+        if not self._steps:
+            return {"query_ms": 0.0, "network_ms": 0.0, "render_ms": 0.0}
+        n = len(self._steps)
+        return {
+            "query_ms": sum(s.query_ms for s in self._steps) / n,
+            "network_ms": sum(s.network_ms for s in self._steps) / n,
+            "render_ms": sum(s.render_ms for s in self._steps) / n,
+        }
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of steps served entirely from a cache."""
+        if not self._steps:
+            return 0.0
+        hits = sum(1 for s in self._steps if s.cache_hit)
+        return hits / len(self._steps)
+
+    def total_requests(self) -> int:
+        return sum(s.requests for s in self._steps)
+
+    def total_objects(self) -> int:
+        return sum(s.objects_fetched for s in self._steps)
+
+    def total_bytes(self) -> int:
+        return sum(s.bytes_fetched for s in self._steps)

@@ -1,0 +1,91 @@
+"""Wall-clock timers and a virtual clock for simulated latency.
+
+The benchmark harness mixes two notions of time:
+
+* real elapsed time of our Python storage engine executing a query, and
+* *simulated* time charged by the network link and the pager's disk model
+  (a pure-Python reproduction is orders of magnitude slower per tuple than a
+  C DBMS, but network round trips and disk seeks are properties of the
+  modelled system, not of the host machine).
+
+:class:`Timer` measures the former; :class:`VirtualClock` accumulates the
+latter.  A response-time measurement is the sum of both components.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """A context-manager stopwatch measuring wall-clock milliseconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed_ms >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed_ms: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the timer and return the elapsed milliseconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed_ms = (time.perf_counter() - self._start) * 1000.0
+        self._start = None
+        return self.elapsed_ms
+
+    def lap_ms(self) -> float:
+        """Return elapsed milliseconds without stopping the timer."""
+        if self._start is None:
+            raise RuntimeError("Timer.lap_ms() called before start()")
+        return (time.perf_counter() - self._start) * 1000.0
+
+
+class VirtualClock:
+    """Accumulates simulated latency charged by models (network, disk).
+
+    The clock only moves forward when a component explicitly charges time to
+    it via :meth:`advance`.  Nested scopes can be captured with
+    :meth:`checkpoint` / :meth:`since`.
+    """
+
+    def __init__(self) -> None:
+        self._now_ms: float = 0.0
+
+    @property
+    def now_ms(self) -> float:
+        """Total simulated milliseconds elapsed so far."""
+        return self._now_ms
+
+    def advance(self, milliseconds: float) -> None:
+        """Charge ``milliseconds`` of simulated latency to the clock."""
+        if milliseconds < 0:
+            raise ValueError(f"cannot advance the clock by {milliseconds} ms")
+        self._now_ms += milliseconds
+
+    def checkpoint(self) -> float:
+        """Return an opaque marker for the current simulated time."""
+        return self._now_ms
+
+    def since(self, checkpoint: float) -> float:
+        """Return simulated milliseconds elapsed since ``checkpoint``."""
+        return self._now_ms - checkpoint
+
+    def reset(self) -> None:
+        self._now_ms = 0.0

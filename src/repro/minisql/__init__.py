@@ -1,0 +1,30 @@
+"""A small SQL layer over the embedded storage engine.
+
+Kyrix layers declare their data with "a SQL query to a DBMS"; this package
+provides the dialect and execution machinery for those queries against
+:class:`repro.storage.Database`:
+
+* :mod:`repro.minisql.lexer` / :mod:`repro.minisql.parser` — tokeniser and
+  recursive-descent parser producing the AST in :mod:`repro.minisql.ast`;
+* :mod:`repro.minisql.planner` — rule-based planning with index selection
+  (key indexes and R-tree spatial probes) and join strategies;
+* :mod:`repro.minisql.executor` — a pull-based executor returning
+  :class:`~repro.minisql.executor.ResultSet` objects.
+
+The dialect supports SELECT (joins, WHERE, GROUP BY, ORDER BY, LIMIT,
+aggregates, an ``intersects()`` spatial predicate), INSERT, UPDATE, DELETE,
+CREATE TABLE and CREATE INDEX.
+"""
+
+from .executor import ResultSet, SQLEngine
+from .parser import parse, parse_expression
+from .planner import PlannedQuery, Planner
+
+__all__ = [
+    "PlannedQuery",
+    "Planner",
+    "ResultSet",
+    "SQLEngine",
+    "parse",
+    "parse_expression",
+]

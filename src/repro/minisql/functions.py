@@ -1,0 +1,278 @@
+"""Expression evaluation for the mini-SQL executor.
+
+Rows are evaluated against a *row context*: a dictionary mapping both bare
+column names (``"x"``) and qualified names (``"t.x"``) to values.  SQL
+three-valued logic is approximated with Python ``None`` propagation, which is
+sufficient for the predicates Kyrix applications issue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..errors import SQLExecutionError, SQLPlanError
+from ..storage.rtree import Rect
+from .ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+
+RowContext = dict[str, Any]
+
+#: Names of aggregate functions (evaluated by the executor, not here).
+AGGREGATE_FUNCTIONS = {"count", "sum", "avg", "min", "max"}
+
+
+def lookup_column(context: RowContext, ref: ColumnRef) -> Any:
+    """Resolve a column reference in a row context."""
+    key = f"{ref.table}.{ref.column}" if ref.table else ref.column
+    if key in context:
+        return context[key]
+    if ref.table is None:
+        # Unqualified reference: fall back to any qualified match.
+        matches = [k for k in context if k.endswith(f".{ref.column}")]
+        if len(matches) == 1:
+            return context[matches[0]]
+        if len(matches) > 1:
+            raise SQLExecutionError(f"ambiguous column reference: {ref.column!r}")
+    raise SQLExecutionError(f"unknown column reference: {ref.display()!r}")
+
+
+def _scalar_function(name: str, args: list[Any]) -> Any:
+    """Evaluate a non-aggregate function call."""
+    if name == "intersects":
+        if len(args) == 5:
+            bbox, xmin, ymin, xmax, ymax = args
+            if bbox is None:
+                return False
+            return Rect.from_tuple(bbox).intersects(
+                Rect(float(xmin), float(ymin), float(xmax), float(ymax))
+            )
+        if len(args) == 2:
+            left, right = args
+            if left is None or right is None:
+                return False
+            return Rect.from_tuple(left).intersects(Rect.from_tuple(right))
+        raise SQLExecutionError("intersects() takes (bbox, x1, y1, x2, y2) or (bbox, bbox)")
+    if name == "bbox":
+        if len(args) != 4:
+            raise SQLExecutionError("bbox() takes exactly (xmin, ymin, xmax, ymax)")
+        if any(a is None for a in args):
+            return None
+        return (float(args[0]), float(args[1]), float(args[2]), float(args[3]))
+    if name == "abs":
+        return None if args[0] is None else abs(args[0])
+    if name == "floor":
+        import math
+
+        return None if args[0] is None else math.floor(args[0])
+    if name == "ceil":
+        import math
+
+        return None if args[0] is None else math.ceil(args[0])
+    if name == "min":
+        return min(args)
+    if name == "max":
+        return max(args)
+    raise SQLExecutionError(f"unknown function: {name!r}")
+
+
+def evaluate(expression: Expression, context: RowContext) -> Any:
+    """Evaluate ``expression`` against a row context."""
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, ColumnRef):
+        return lookup_column(context, expression)
+    if isinstance(expression, UnaryOp):
+        value = evaluate(expression.operand, context)
+        if expression.operator == "not":
+            return None if value is None else (not bool(value))
+        if expression.operator == "-":
+            return None if value is None else -value
+        raise SQLExecutionError(f"unknown unary operator {expression.operator!r}")
+    if isinstance(expression, BinaryOp):
+        return _evaluate_binary(expression, context)
+    if isinstance(expression, IsNull):
+        value = evaluate(expression.operand, context)
+        result = value is None
+        return (not result) if expression.negated else result
+    if isinstance(expression, Between):
+        value = evaluate(expression.operand, context)
+        low = evaluate(expression.low, context)
+        high = evaluate(expression.high, context)
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return (not result) if expression.negated else result
+    if isinstance(expression, InList):
+        value = evaluate(expression.operand, context)
+        if value is None:
+            return None
+        items = [evaluate(item, context) for item in expression.items]
+        result = value in items
+        return (not result) if expression.negated else result
+    if isinstance(expression, FunctionCall):
+        if expression.name in AGGREGATE_FUNCTIONS and not expression.star:
+            # Aggregates over rows are handled by the executor; reaching this
+            # point means an aggregate was used in a per-row position with a
+            # single argument -- treat min/max of one value as identity.
+            args = [evaluate(arg, context) for arg in expression.args]
+            if len(args) == 1:
+                return args[0]
+        args = [evaluate(arg, context) for arg in expression.args]
+        return _scalar_function(expression.name, args)
+    raise SQLExecutionError(f"cannot evaluate expression of type {type(expression).__name__}")
+
+
+def _evaluate_binary(expression: BinaryOp, context: RowContext) -> Any:
+    operator = expression.operator
+    if operator == "and":
+        left = evaluate(expression.left, context)
+        if left is False:
+            return False
+        right = evaluate(expression.right, context)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return bool(left) and bool(right)
+    if operator == "or":
+        left = evaluate(expression.left, context)
+        if left is True:
+            return True
+        right = evaluate(expression.right, context)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return bool(left) or bool(right)
+
+    left = evaluate(expression.left, context)
+    right = evaluate(expression.right, context)
+    if left is None or right is None:
+        return None
+    if operator in ("=", "=="):
+        return left == right
+    if operator in ("!=", "<>"):
+        return left != right
+    if operator == "<":
+        return left < right
+    if operator == "<=":
+        return left <= right
+    if operator == ">":
+        return left > right
+    if operator == ">=":
+        return left >= right
+    if operator == "+":
+        return left + right
+    if operator == "-":
+        return left - right
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        if right == 0:
+            raise SQLExecutionError("division by zero")
+        return left / right
+    if operator == "%":
+        if right == 0:
+            raise SQLExecutionError("modulo by zero")
+        return left % right
+    raise SQLExecutionError(f"unknown operator {operator!r}")
+
+
+def predicate_matches(expression: Expression | None, context: RowContext) -> bool:
+    """Evaluate a WHERE predicate; NULL counts as not matching."""
+    if expression is None:
+        return True
+    return bool(evaluate(expression, context))
+
+
+# ---------------------------------------------------------------------------
+# Predicate analysis helpers used by the planner
+# ---------------------------------------------------------------------------
+
+
+def split_conjuncts(expression: Expression | None) -> list[Expression]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, BinaryOp) and expression.operator == "and":
+        return split_conjuncts(expression.left) + split_conjuncts(expression.right)
+    return [expression]
+
+
+def combine_conjuncts(conjuncts: Iterable[Expression]) -> Expression | None:
+    """Rebuild a predicate from conjuncts (inverse of :func:`split_conjuncts`)."""
+    result: Expression | None = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else BinaryOp("and", result, conjunct)
+    return result
+
+
+def extract_literal(expression: Expression) -> tuple[bool, Any]:
+    """Return ``(True, value)`` when the expression is a constant literal."""
+    if isinstance(expression, Literal):
+        return True, expression.value
+    if isinstance(expression, UnaryOp) and expression.operator == "-":
+        ok, value = extract_literal(expression.operand)
+        if ok and value is not None:
+            return True, -value
+    return False, None
+
+
+def as_key_lookup(conjunct: Expression) -> tuple[ColumnRef, list[Any]] | None:
+    """Detect ``col = literal`` or ``col IN (literals)`` conjuncts.
+
+    Returns ``(column_ref, candidate_keys)`` when the conjunct is such a
+    pattern, otherwise None.
+    """
+    if isinstance(conjunct, BinaryOp) and conjunct.operator in ("=", "=="):
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, ColumnRef):
+            ok, value = extract_literal(right)
+            if ok:
+                return left, [value]
+        if isinstance(right, ColumnRef):
+            ok, value = extract_literal(left)
+            if ok:
+                return right, [value]
+    if isinstance(conjunct, InList) and not conjunct.negated:
+        if isinstance(conjunct.operand, ColumnRef):
+            values = []
+            for item in conjunct.items:
+                ok, value = extract_literal(item)
+                if not ok:
+                    return None
+                values.append(value)
+            return conjunct.operand, values
+    return None
+
+
+def as_spatial_lookup(conjunct: Expression) -> tuple[ColumnRef, Rect] | None:
+    """Detect ``intersects(bbox_col, x1, y1, x2, y2)`` conjuncts with literal
+    bounds; these can be answered by an R-tree probe."""
+    if not isinstance(conjunct, FunctionCall) or conjunct.name != "intersects":
+        return None
+    if len(conjunct.args) != 5:
+        return None
+    column = conjunct.args[0]
+    if not isinstance(column, ColumnRef):
+        return None
+    bounds = []
+    for arg in conjunct.args[1:]:
+        ok, value = extract_literal(arg)
+        if not ok or value is None:
+            return None
+        bounds.append(float(value))
+    try:
+        rect = Rect(bounds[0], bounds[1], bounds[2], bounds[3])
+    except Exception as exc:  # degenerate rectangle
+        raise SQLPlanError(f"invalid intersects() bounds: {bounds}") from exc
+    return column, rect

@@ -1,0 +1,401 @@
+"""Rule-based query planner.
+
+The planner turns a parsed statement into a small physical-plan tree.  Its
+job in this reproduction mirrors what Kyrix relies on PostgreSQL's planner
+for: picking an index access path when the WHERE clause allows it.
+
+Access-path rules, applied to the driving table's conjuncts:
+
+1. an ``intersects(bbox_col, x1, y1, x2, y2)`` conjunct with literal bounds
+   and an R-tree on ``bbox_col``  ->  :class:`SpatialScan`;
+2. a ``col = literal`` / ``col IN (...)`` conjunct with a B-tree or hash
+   index on ``col``  ->  :class:`IndexKeyScan`;
+3. otherwise  ->  :class:`SeqScan`.
+
+Joins become :class:`IndexNLJoin` when the inner table has a key index on
+its join column (the tuple–tile mapping design's ``tuple_id`` join), and
+:class:`HashJoin` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import SQLPlanError
+from ..storage.database import Database
+from ..storage.rtree import Rect
+from ..storage.table import Table
+from .ast import (
+    ColumnRef,
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    Expression,
+    FunctionCall,
+    InsertStatement,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from .functions import (
+    AGGREGATE_FUNCTIONS,
+    as_key_lookup,
+    as_spatial_lookup,
+    combine_conjuncts,
+    split_conjuncts,
+)
+
+
+# ---------------------------------------------------------------------------
+# Physical plan nodes
+# ---------------------------------------------------------------------------
+
+
+class PlanNode:
+    """Base class of physical plan nodes."""
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """Pretty-print the plan tree (like EXPLAIN)."""
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+
+@dataclass
+class SeqScan(PlanNode):
+    table: Table
+    binding: str
+
+    def describe(self) -> str:
+        return f"SeqScan({self.table.name} as {self.binding})"
+
+
+@dataclass
+class IndexKeyScan(PlanNode):
+    table: Table
+    binding: str
+    column: str
+    keys: list[Any]
+
+    def describe(self) -> str:
+        return (
+            f"IndexKeyScan({self.table.name} as {self.binding}, "
+            f"{self.column} in {self.keys!r})"
+        )
+
+
+@dataclass
+class SpatialScan(PlanNode):
+    table: Table
+    binding: str
+    column: str
+    rect: Rect
+
+    def describe(self) -> str:
+        return (
+            f"SpatialScan({self.table.name} as {self.binding}, "
+            f"{self.column} ∩ {self.rect.as_tuple()})"
+        )
+
+
+@dataclass
+class Filter(PlanNode):
+    child: PlanNode
+    predicate: Expression
+
+    def describe(self) -> str:
+        return "Filter"
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class IndexNLJoin(PlanNode):
+    """Index nested-loop join: probe the inner table's key index per outer row."""
+
+    outer: PlanNode
+    inner_table: Table
+    inner_binding: str
+    outer_column: ColumnRef
+    inner_column: str
+
+    def describe(self) -> str:
+        return (
+            f"IndexNLJoin(inner={self.inner_table.name} as {self.inner_binding} "
+            f"on {self.inner_column})"
+        )
+
+    def children(self) -> list[PlanNode]:
+        return [self.outer]
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Hash join: build a hash table on the inner input, probe with outer rows."""
+
+    outer: PlanNode
+    inner: PlanNode
+    outer_column: ColumnRef
+    inner_column: ColumnRef
+
+    def describe(self) -> str:
+        return "HashJoin"
+
+    def children(self) -> list[PlanNode]:
+        return [self.outer, self.inner]
+
+
+@dataclass
+class Project(PlanNode):
+    child: PlanNode
+    items: list[SelectItem]
+    select_star: bool
+    distinct: bool = False
+
+    def describe(self) -> str:
+        return "Project(*)" if self.select_star else f"Project({len(self.items)} items)"
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class Aggregate(PlanNode):
+    child: PlanNode
+    items: list[SelectItem]
+    group_by: list[Expression]
+
+    def describe(self) -> str:
+        return f"Aggregate(groups={len(self.group_by)})"
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class Sort(PlanNode):
+    child: PlanNode
+    order_by: list[OrderItem]
+
+    def describe(self) -> str:
+        return f"Sort({len(self.order_by)} keys)"
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class LimitNode(PlanNode):
+    child: PlanNode
+    limit: int | None
+    offset: int | None
+
+    def describe(self) -> str:
+        return f"Limit(limit={self.limit}, offset={self.offset})"
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+# Non-SELECT statement "plans" carry the statement through to the executor.
+
+
+@dataclass
+class DataModification(PlanNode):
+    statement: Statement
+
+    def describe(self) -> str:
+        return type(self.statement).__name__
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlannedQuery:
+    """A plan plus metadata the executor needs."""
+
+    root: PlanNode
+    statement: Statement
+    uses_index: bool = False
+    access_path: str = "seqscan"
+
+
+class Planner:
+    """Plans parsed statements against a :class:`~repro.storage.Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+
+    def plan(self, statement: Statement) -> PlannedQuery:
+        if isinstance(statement, SelectStatement):
+            return self._plan_select(statement)
+        if isinstance(
+            statement,
+            (InsertStatement, UpdateStatement, DeleteStatement,
+             CreateTableStatement, CreateIndexStatement),
+        ):
+            return PlannedQuery(root=DataModification(statement), statement=statement)
+        raise SQLPlanError(f"cannot plan statement of type {type(statement).__name__}")
+
+    # -- SELECT planning -------------------------------------------------------
+
+    def _plan_select(self, statement: SelectStatement) -> PlannedQuery:
+        if statement.table is None:
+            # SELECT of constant expressions only.
+            root: PlanNode = Project(
+                child=SeqScanConstant(), items=list(statement.items),
+                select_star=False, distinct=statement.distinct,
+            )
+            return PlannedQuery(root=root, statement=statement, access_path="constant")
+
+        table = self._db.table(statement.table.name)
+        binding = statement.table.binding
+        conjuncts = split_conjuncts(statement.where)
+
+        access, remaining, access_path = self._choose_access_path(
+            table, binding, conjuncts
+        )
+        node: PlanNode = access
+
+        for join in statement.joins:
+            node = self._plan_join(node, join)
+
+        residual = combine_conjuncts(remaining)
+        if residual is not None:
+            node = Filter(child=node, predicate=residual)
+
+        if statement.group_by or self._has_aggregates(statement.items):
+            node = Aggregate(
+                child=node,
+                items=list(statement.items),
+                group_by=list(statement.group_by),
+            )
+        else:
+            node = Project(
+                child=node,
+                items=list(statement.items),
+                select_star=statement.select_star,
+                distinct=statement.distinct,
+            )
+
+        if statement.order_by:
+            node = Sort(child=node, order_by=list(statement.order_by))
+        if statement.limit is not None or statement.offset is not None:
+            node = LimitNode(child=node, limit=statement.limit, offset=statement.offset)
+
+        return PlannedQuery(
+            root=node,
+            statement=statement,
+            uses_index=access_path != "seqscan",
+            access_path=access_path,
+        )
+
+    def _choose_access_path(
+        self, table: Table, binding: str, conjuncts: list[Expression]
+    ) -> tuple[PlanNode, list[Expression], str]:
+        """Pick the driving access path and return the unconsumed conjuncts."""
+        # Rule 1: spatial probe.
+        for index, conjunct in enumerate(conjuncts):
+            spatial = as_spatial_lookup(conjunct)
+            if spatial is None:
+                continue
+            column_ref, rect = spatial
+            if not self._column_belongs(column_ref, table, binding):
+                continue
+            if table.find_index_on(column_ref.column, kinds=("rtree",)) is not None:
+                remaining = conjuncts[:index] + conjuncts[index + 1 :]
+                scan = SpatialScan(
+                    table=table, binding=binding, column=column_ref.column, rect=rect
+                )
+                return scan, remaining, "spatial"
+        # Rule 2: key lookup.
+        for index, conjunct in enumerate(conjuncts):
+            lookup = as_key_lookup(conjunct)
+            if lookup is None:
+                continue
+            column_ref, keys = lookup
+            if not self._column_belongs(column_ref, table, binding):
+                continue
+            if table.find_index_on(column_ref.column, kinds=("btree", "hash")) is not None:
+                remaining = conjuncts[:index] + conjuncts[index + 1 :]
+                scan = IndexKeyScan(
+                    table=table, binding=binding, column=column_ref.column, keys=keys
+                )
+                return scan, remaining, "key"
+        # Rule 3: sequential scan.
+        return SeqScan(table=table, binding=binding), list(conjuncts), "seqscan"
+
+    def _plan_join(self, outer: PlanNode, join: JoinClause) -> PlanNode:
+        inner_table = self._db.table(join.table.name)
+        inner_binding = join.table.binding
+
+        # Work out which side of the ON clause belongs to the inner table.
+        if self._column_belongs(join.right, inner_table, inner_binding):
+            inner_column, outer_column = join.right, join.left
+        elif self._column_belongs(join.left, inner_table, inner_binding):
+            inner_column, outer_column = join.left, join.right
+        else:
+            raise SQLPlanError(
+                f"join condition does not reference joined table {join.table.name!r}"
+            )
+
+        if inner_table.find_index_on(inner_column.column, kinds=("btree", "hash")):
+            return IndexNLJoin(
+                outer=outer,
+                inner_table=inner_table,
+                inner_binding=inner_binding,
+                outer_column=outer_column,
+                inner_column=inner_column.column,
+            )
+        return HashJoin(
+            outer=outer,
+            inner=SeqScan(table=inner_table, binding=inner_binding),
+            outer_column=outer_column,
+            inner_column=ColumnRef(column=inner_column.column, table=inner_binding),
+        )
+
+    @staticmethod
+    def _column_belongs(ref: ColumnRef, table: Table, binding: str) -> bool:
+        if ref.table is not None and ref.table not in (binding, table.name):
+            return False
+        return table.schema.has_column(ref.column)
+
+    @staticmethod
+    def _has_aggregates(items: list[SelectItem]) -> bool:
+        def contains_aggregate(expression: Expression) -> bool:
+            if isinstance(expression, FunctionCall):
+                if expression.name in AGGREGATE_FUNCTIONS and (
+                    expression.star or len(expression.args) == 1
+                ):
+                    return True
+                return any(contains_aggregate(a) for a in expression.args)
+            for attr in ("left", "right", "operand"):
+                child = getattr(expression, attr, None)
+                if isinstance(child, Expression) and contains_aggregate(child):
+                    return True
+            return False
+
+        return any(contains_aggregate(item.expression) for item in items)
+
+
+@dataclass
+class SeqScanConstant(PlanNode):
+    """A scan producing exactly one empty row (for table-less SELECTs)."""
+
+    def describe(self) -> str:
+        return "ConstantScan"

@@ -1,0 +1,6 @@
+"""Frontend <-> backend communication: wire protocol and simulated link."""
+
+from .link import LinkStats, SimulatedLink
+from .protocol import DataRequest, DataResponse
+
+__all__ = ["DataRequest", "DataResponse", "LinkStats", "SimulatedLink"]

@@ -1,0 +1,78 @@
+"""A simulated network link between the Kyrix frontend and backend.
+
+The paper's experiments ran frontend and backend on one EC2 instance, so per
+request the dominant network terms are (a) a fixed round-trip overhead and
+(b) payload-proportional transfer time.  The link charges exactly those two
+terms to a virtual clock; it can optionally really ``sleep`` to produce
+wall-clock-visible latency (off by default so tests stay fast).
+
+This model is what makes the fetching-granularity comparison meaningful:
+schemes that issue many small requests (256-pixel tiles) pay the round trip
+many times, schemes that fetch huge regions (4096-pixel tiles) pay transfer
+time for data the viewport never shows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..config import NetworkConfig
+from ..metrics.timer import VirtualClock
+
+
+@dataclass
+class LinkStats:
+    """Counters describing traffic over the link."""
+
+    requests: int = 0
+    bytes_transferred: int = 0
+    simulated_ms: float = 0.0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.bytes_transferred = 0
+        self.simulated_ms = 0.0
+
+
+class SimulatedLink:
+    """Charges round-trip and transfer latency for each request/response."""
+
+    def __init__(self, config: NetworkConfig | None = None, clock: VirtualClock | None = None) -> None:
+        self.config = config or NetworkConfig()
+        self.config.validate()
+        self.clock = clock or VirtualClock()
+        self.stats = LinkStats()
+
+    # -- latency model ------------------------------------------------------------
+
+    def transfer_ms(self, payload_bytes: int) -> float:
+        """Transfer time of a payload at the configured bandwidth."""
+        bits = payload_bytes * 8
+        seconds = bits / (self.config.bandwidth_mbps * 1_000_000.0)
+        return seconds * 1000.0
+
+    def round_trip_ms(self, payload_bytes: int) -> float:
+        """Total simulated latency of one request/response exchange."""
+        request_bytes = self.config.request_overhead_bytes
+        return self.config.rtt_ms + self.transfer_ms(request_bytes + payload_bytes)
+
+    # -- traffic accounting ----------------------------------------------------------
+
+    def charge_request(self, payload_bytes: int) -> float:
+        """Account one exchange and return its simulated latency (ms)."""
+        latency = self.round_trip_ms(payload_bytes)
+        self.stats.requests += 1
+        self.stats.bytes_transferred += payload_bytes + self.config.request_overhead_bytes
+        self.stats.simulated_ms += latency
+        self.clock.advance(latency)
+        if self.config.simulate_delay:
+            time.sleep(latency / 1000.0)
+        return latency
+
+    def estimate_object_payload(self, object_count: int) -> int:
+        """Payload size estimate for ``object_count`` serialized objects."""
+        return object_count * self.config.per_object_bytes
+
+    def reset(self) -> None:
+        self.stats.reset()

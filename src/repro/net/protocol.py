@@ -1,0 +1,110 @@
+"""Wire protocol between the Kyrix frontend and backend.
+
+Requests and responses are plain dataclasses with a JSON encoding, mirroring
+the HTTP+JSON protocol of the original system.  The encoded payload size is
+what the simulated link charges transfer time for.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class DataRequest:
+    """A frontend -> backend request for the data of one region of a layer.
+
+    ``granularity`` is ``"tile"`` (fetch one static tile by id) or ``"box"``
+    (fetch an arbitrary rectangle — the dynamic-box scheme).
+    """
+
+    app_name: str
+    canvas_id: str
+    layer_index: int
+    granularity: str
+    #: Database design answering the request: "spatial" or "mapping".
+    design: str = "spatial"
+    # Tile requests:
+    tile_id: int | None = None
+    tile_size: int | None = None
+    # Box requests (canvas coordinates):
+    xmin: float | None = None
+    ymin: float | None = None
+    xmax: float | None = None
+    ymax: float | None = None
+
+    def cache_key(self) -> tuple[Any, ...]:
+        """A hashable identity used by the frontend and backend caches."""
+        if self.granularity == "tile":
+            return (
+                self.app_name, self.canvas_id, self.layer_index,
+                "tile", self.design, self.tile_size, self.tile_id,
+            )
+        return (
+            self.app_name, self.canvas_id, self.layer_index,
+            "box", self.xmin, self.ymin, self.xmax, self.ymax,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DataRequest":
+        return cls(**json.loads(text))
+
+
+@dataclass
+class DataResponse:
+    """A backend -> frontend response carrying placed objects.
+
+    Each object is a dictionary of the layer's transform columns plus the
+    placement outputs ``cx``, ``cy`` and ``bbox``.
+    """
+
+    request: DataRequest
+    objects: list[dict[str, Any]] = field(default_factory=list)
+    #: Milliseconds the backend spent running database queries.
+    query_ms: float = 0.0
+    #: Whether the response was served from the backend cache.
+    from_cache: bool = False
+    #: Number of distinct DBMS queries issued to produce this response.
+    queries_issued: int = 0
+
+    def object_count(self) -> int:
+        return len(self.objects)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "request": asdict(self.request),
+                "objects": self.objects,
+                "query_ms": self.query_ms,
+                "from_cache": self.from_cache,
+                "queries_issued": self.queries_issued,
+            },
+            sort_keys=True,
+            default=str,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DataResponse":
+        data = json.loads(text)
+        return cls(
+            request=DataRequest(**data["request"]),
+            objects=data["objects"],
+            query_ms=data["query_ms"],
+            from_cache=data["from_cache"],
+            queries_issued=data.get("queries_issued", 0),
+        )
+
+    def payload_size(self, per_object_bytes: int | None = None) -> int:
+        """Estimated serialized size in bytes.
+
+        When ``per_object_bytes`` is given, a fast estimate (count x bytes)
+        is used; otherwise the exact JSON encoding is measured.
+        """
+        if per_object_bytes is not None:
+            return len(self.objects) * per_object_bytes
+        return len(self.to_json().encode("utf-8"))

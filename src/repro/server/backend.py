@@ -1,0 +1,251 @@
+"""The Kyrix backend server.
+
+The backend owns the database, the compiled application plan and the backend
+cache.  It answers :class:`~repro.net.protocol.DataRequest` objects coming
+from the frontend — either a static tile by id or a dynamic box — by
+querying the placement tables built by the
+:class:`~repro.server.indexer.Indexer`, using the database design the
+request names:
+
+* ``spatial``: one bbox-intersection query against the R-tree,
+* ``mapping``: an equality lookup on the tuple–tile mapping table joined to
+  the placement table on ``tuple_id`` (B-tree indexes on both sides).
+
+Query time is measured per request (wall clock of the embedded engine plus
+any simulated disk latency) and reported in the response so the frontend can
+break down the interaction latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..compiler.plan import CompiledApplication, LayerPlan
+from ..config import KyrixConfig
+from ..errors import FetchError, UnknownCanvasError, UnknownLayerError
+from ..metrics.timer import Timer
+from ..minisql.executor import SQLEngine
+from ..net.protocol import DataRequest, DataResponse
+from ..storage.database import Database
+from ..storage.rtree import Rect
+from .cache import LRUCache
+from .indexer import Indexer, PrecomputeReport
+from .schemes import DESIGN_MAPPING, DESIGN_SPATIAL
+from .tile import TileScheme
+
+
+@dataclass
+class BackendStats:
+    """Aggregate counters over the backend's lifetime."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    queries_issued: int = 0
+    objects_returned: int = 0
+    total_query_ms: float = 0.0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.cache_hits = 0
+        self.queries_issued = 0
+        self.objects_returned = 0
+        self.total_query_ms = 0.0
+
+
+class KyrixBackend:
+    """Serves viewport data requests for one compiled application."""
+
+    def __init__(
+        self,
+        database: Database,
+        compiled: CompiledApplication,
+        config: KyrixConfig | None = None,
+    ) -> None:
+        self.database = database
+        self.compiled = compiled
+        self.config = config or (compiled.spec.config if compiled.spec else KyrixConfig())
+        self.engine = SQLEngine(database)
+        self.indexer = Indexer(database, compiled, engine=self.engine)
+        cache_entries = self.config.cache.backend_entries if self.config.cache.enabled else 0
+        self.cache: LRUCache[DataResponse] = LRUCache(cache_entries)
+        self.stats = BackendStats()
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def precompute(self, tile_sizes: tuple[int, ...] = ()) -> list[PrecomputeReport]:
+        """Run placement precomputation (and mapping tables for ``tile_sizes``)."""
+        return self.indexer.precompute_all(tile_sizes=tile_sizes)
+
+    def ensure_mapping_tables(self, tile_size: int) -> None:
+        """Build the tuple–tile mapping tables for one tile size on demand."""
+        for layer_plan in self.compiled.all_layer_plans():
+            if not layer_plan.static:
+                self.indexer.build_mapping_table(layer_plan, tile_size)
+
+    # -- request handling ----------------------------------------------------------------
+
+    def handle(self, request: DataRequest) -> DataResponse:
+        """Answer one data request (from cache or from the database)."""
+        self.stats.requests += 1
+        layer_plan = self._resolve_layer(request)
+
+        cached = self.cache.get(request.cache_key())
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return DataResponse(
+                request=request,
+                objects=cached.objects,
+                query_ms=0.0,
+                from_cache=True,
+                queries_issued=0,
+            )
+
+        timer = Timer()
+        io_checkpoint = self.database.clock.checkpoint()
+        timer.start()
+        if request.granularity == "tile":
+            objects, queries = self._fetch_tile(request, layer_plan)
+        elif request.granularity == "box":
+            objects, queries = self._fetch_box(request, layer_plan)
+        else:
+            raise FetchError(f"unknown granularity {request.granularity!r}")
+        query_ms = timer.stop() + self.database.clock.since(io_checkpoint)
+
+        response = DataResponse(
+            request=request,
+            objects=objects,
+            query_ms=query_ms,
+            from_cache=False,
+            queries_issued=queries,
+        )
+        self.cache.put(request.cache_key(), response)
+        self.stats.queries_issued += queries
+        self.stats.objects_returned += len(objects)
+        self.stats.total_query_ms += query_ms
+        return response
+
+    def warm(self, request: DataRequest) -> None:
+        """Execute a request purely to populate the backend cache (prefetch)."""
+        if self.cache.peek(request.cache_key()) is None:
+            self.handle(request)
+
+    # -- per-design fetch paths -------------------------------------------------------------
+
+    def _fetch_tile(
+        self, request: DataRequest, layer_plan: LayerPlan
+    ) -> tuple[list[dict[str, Any]], int]:
+        if request.tile_id is None or not request.tile_size:
+            raise FetchError("tile requests need tile_id and tile_size")
+        canvas_plan = self.compiled.canvas_plan(request.canvas_id)
+        scheme = TileScheme(canvas_plan.width, canvas_plan.height, request.tile_size)
+        rect = scheme.tile_rect(request.tile_id)
+        if request.design == DESIGN_MAPPING:
+            return self._query_mapping(layer_plan, request.tile_size, request.tile_id)
+        if request.design == DESIGN_SPATIAL:
+            return self._query_spatial(layer_plan, rect)
+        raise FetchError(f"unknown database design {request.design!r}")
+
+    def _fetch_box(
+        self, request: DataRequest, layer_plan: LayerPlan
+    ) -> tuple[list[dict[str, Any]], int]:
+        if None in (request.xmin, request.ymin, request.xmax, request.ymax):
+            raise FetchError("box requests need xmin/ymin/xmax/ymax")
+        rect = Rect(request.xmin, request.ymin, request.xmax, request.ymax)
+        return self._query_spatial(layer_plan, rect)
+
+    def _query_spatial(
+        self, layer_plan: LayerPlan, rect: Rect
+    ) -> tuple[list[dict[str, Any]], int]:
+        """One bbox-intersection query against the layer's spatial table."""
+        table_name = layer_plan.placement_table or layer_plan.source_table
+        if table_name is None:
+            raise FetchError(
+                f"layer {layer_plan.layer_name!r} has no queryable table; "
+                "did precompute() run?"
+            )
+        sql = (
+            f"SELECT * FROM {table_name} WHERE "
+            f"intersects(bbox, {rect.xmin}, {rect.ymin}, {rect.xmax}, {rect.ymax})"
+        )
+        result = self.engine.execute(sql)
+        return result.to_dicts(), 1
+
+    def _query_mapping(
+        self, layer_plan: LayerPlan, tile_size: int, tile_id: int
+    ) -> tuple[list[dict[str, Any]], int]:
+        """Tile lookup through the tuple–tile mapping design.
+
+        "At runtime, tile queries are answered by joining these two tables on
+        the tuple_id column."
+        """
+        # The record table of the first database design: the precomputed
+        # placement table, or (for separable layers) the raw table itself.
+        place_table = layer_plan.placement_table or layer_plan.source_table
+        if place_table is None:
+            raise FetchError(
+                f"layer {layer_plan.layer_name!r} has no record table for the "
+                "mapping design; did precompute() run?"
+            )
+        mapping_table = layer_plan.mapping_table_for(tile_size)
+        if not self.database.has_table(mapping_table):
+            self.indexer.build_mapping_table(layer_plan, tile_size)
+        columns = ", ".join(
+            f"p.{name}" for name in self.database.table(place_table).schema.column_names
+        )
+        sql = (
+            f"SELECT {columns} FROM {mapping_table} m "
+            f"JOIN {place_table} p ON m.tuple_id = p.tuple_id "
+            f"WHERE m.tile_id = {tile_id}"
+        )
+        result = self.engine.execute(sql)
+        return result.to_dicts(), 1
+
+    # -- metadata for the frontend -------------------------------------------------------------
+
+    def canvas_info(self, canvas_id: str) -> dict[str, Any]:
+        """Size and layer summary of a canvas (the frontend's bootstrap call)."""
+        if canvas_id not in self.compiled.canvases:
+            raise UnknownCanvasError(f"no canvas {canvas_id!r}")
+        plan = self.compiled.canvas_plan(canvas_id)
+        return {
+            "canvas_id": canvas_id,
+            "width": plan.width,
+            "height": plan.height,
+            "layers": [
+                {
+                    "index": layer.layer_index,
+                    "name": layer.layer_name,
+                    "static": layer.static,
+                    "separable": layer.separable,
+                }
+                for layer in plan.layers
+            ],
+        }
+
+    def layer_density(self, canvas_id: str, layer_index: int) -> float:
+        """Average objects per canvas pixel² for one layer (box sizing hint)."""
+        layer_plan = self._layer_plan(canvas_id, layer_index)
+        table_name = layer_plan.placement_table or layer_plan.source_table
+        if table_name is None or not self.database.has_table(table_name):
+            return 0.0
+        plan = self.compiled.canvas_plan(canvas_id)
+        area = plan.width * plan.height
+        if area <= 0:
+            return 0.0
+        return self.database.table(table_name).row_count / area
+
+    # -- helpers -------------------------------------------------------------------------------
+
+    def _resolve_layer(self, request: DataRequest) -> LayerPlan:
+        return self._layer_plan(request.canvas_id, request.layer_index)
+
+    def _layer_plan(self, canvas_id: str, layer_index: int) -> LayerPlan:
+        if canvas_id not in self.compiled.canvases:
+            raise UnknownCanvasError(f"no canvas {canvas_id!r}")
+        canvas_plan = self.compiled.canvas_plan(canvas_id)
+        if layer_index < 0 or layer_index >= len(canvas_plan.layers):
+            raise UnknownLayerError(
+                f"canvas {canvas_id!r} has no layer {layer_index}"
+            )
+        return canvas_plan.layers[layer_index]

@@ -1,0 +1,98 @@
+"""Response caches.
+
+Kyrix "employs both a frontend cache and a backend cache.  If there is a
+cache miss in both, Kyrix backend will talk to the backing DBMS to fetch
+data."  Both caches are LRU over request identities
+(:meth:`repro.net.protocol.DataRequest.cache_key`); the same implementation
+is reused on both sides.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Generic, Hashable, TypeVar
+
+ValueT = TypeVar("ValueT")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.inserts = 0
+
+
+class LRUCache(Generic[ValueT]):
+    """A bounded least-recently-used cache.
+
+    ``capacity`` of 0 disables caching entirely (every lookup misses), which
+    is how the benchmark harness runs its no-cache ablations.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, ValueT] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> ValueT | None:
+        """Return the cached value and refresh its recency, or None."""
+        if key in self._entries:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def peek(self, key: Hashable) -> ValueT | None:
+        """Return the cached value without touching recency or stats."""
+        return self._entries.get(key)
+
+    def put(self, key: Hashable, value: ValueT) -> None:
+        """Insert or refresh an entry, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        self._entries[key] = value
+        self.stats.inserts += 1
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns True when it existed."""
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def keys(self) -> list[Hashable]:
+        """Keys from least to most recently used."""
+        return list(self._entries.keys())

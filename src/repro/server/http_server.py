@@ -1,0 +1,113 @@
+"""Flask deployment of the Kyrix backend.
+
+The original Kyrix backend is a web server the browser frontend talks to
+over HTTP; this module exposes the same surface for a
+:class:`~repro.server.backend.KyrixBackend`:
+
+* ``GET  /app``                         — application / canvas catalogue,
+* ``GET  /canvas/<canvas_id>``          — canvas size and layer summary,
+* ``GET  /tile``                        — one static tile of one layer,
+* ``GET  /dbox``                        — one dynamic box of one layer,
+* ``GET  /stats``                       — backend counters.
+
+Flask is an optional dependency: importing this module without Flask
+installed raises a clear error only when :func:`create_app` is called, so
+the rest of the library (and the benchmark harness, which uses the simulated
+link instead of HTTP) works without it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import KyrixError, ServerError
+from ..net.protocol import DataRequest
+from .backend import KyrixBackend
+from .schemes import DESIGN_MAPPING, DESIGN_SPATIAL
+
+
+def create_app(backend: KyrixBackend):
+    """Create a Flask application serving ``backend``."""
+    try:
+        from flask import Flask, jsonify, request
+    except ImportError as exc:  # pragma: no cover - flask is installed in CI
+        raise ServerError(
+            "Flask is required for the HTTP server; install repro[dev]"
+        ) from exc
+
+    app = Flask(f"kyrix-{backend.compiled.app_name}")
+
+    @app.errorhandler(KyrixError)
+    def _handle_kyrix_error(error: KyrixError):
+        return jsonify({"error": str(error)}), 400
+
+    @app.get("/app")
+    def application_info():
+        return jsonify(backend.compiled.describe())
+
+    @app.get("/canvas/<canvas_id>")
+    def canvas_info(canvas_id: str):
+        return jsonify(backend.canvas_info(canvas_id))
+
+    @app.get("/tile")
+    def fetch_tile():
+        params = _tile_params(request.args)
+        response = backend.handle(params)
+        return jsonify(_response_payload(response))
+
+    @app.get("/dbox")
+    def fetch_dbox():
+        params = _box_params(request.args)
+        response = backend.handle(params)
+        return jsonify(_response_payload(response))
+
+    @app.get("/stats")
+    def stats():
+        return jsonify(
+            {
+                "requests": backend.stats.requests,
+                "cache_hits": backend.stats.cache_hits,
+                "queries_issued": backend.stats.queries_issued,
+                "objects_returned": backend.stats.objects_returned,
+                "total_query_ms": backend.stats.total_query_ms,
+                "cache_hit_rate": backend.cache.stats.hit_rate(),
+            }
+        )
+
+    def _tile_params(args: Any) -> DataRequest:
+        design = args.get("design", DESIGN_SPATIAL)
+        if design not in (DESIGN_SPATIAL, DESIGN_MAPPING):
+            raise ServerError(f"unknown design {design!r}")
+        return DataRequest(
+            app_name=backend.compiled.app_name,
+            canvas_id=args["canvas"],
+            layer_index=int(args.get("layer", 0)),
+            granularity="tile",
+            design=design,
+            tile_id=int(args["tile_id"]),
+            tile_size=int(args.get("tile_size", 1024)),
+        )
+
+    def _box_params(args: Any) -> DataRequest:
+        return DataRequest(
+            app_name=backend.compiled.app_name,
+            canvas_id=args["canvas"],
+            layer_index=int(args.get("layer", 0)),
+            granularity="box",
+            design=DESIGN_SPATIAL,
+            xmin=float(args["xmin"]),
+            ymin=float(args["ymin"]),
+            xmax=float(args["xmax"]),
+            ymax=float(args["ymax"]),
+        )
+
+    def _response_payload(response) -> dict[str, Any]:
+        return {
+            "objects": response.objects,
+            "count": response.object_count(),
+            "query_ms": response.query_ms,
+            "from_cache": response.from_cache,
+            "queries_issued": response.queries_issued,
+        }
+
+    return app

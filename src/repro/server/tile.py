@@ -1,0 +1,119 @@
+"""Static-tile fetching granularity.
+
+"The standard wisdom, as applied in Google Maps, ForeCache and Aperture
+Tiles, is to decompose a canvas into fixed-size static tiles.  The frontend
+then requests the tiles that intersect with the given viewport.  Every tile
+is individually fetched and rendered."
+
+A :class:`TileScheme` fixes a tile size for a canvas and provides the tile
+arithmetic: tile ids are row-major over the tile grid (Figure 4a numbers the
+35 tiles of a 7x5 grid this way).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import FetchError
+from ..storage.rtree import Rect
+
+#: Tile sizes evaluated in the paper's experiments (Section 3.3).
+PAPER_TILE_SIZES = (256, 1024, 4096)
+
+
+@dataclass(frozen=True)
+class TileScheme:
+    """Fixed-size square tiling of a canvas."""
+
+    canvas_width: float
+    canvas_height: float
+    tile_size: int
+
+    def __post_init__(self) -> None:
+        if self.tile_size <= 0:
+            raise FetchError(f"tile size must be positive, got {self.tile_size}")
+        if self.canvas_width <= 0 or self.canvas_height <= 0:
+            raise FetchError("canvas dimensions must be positive")
+
+    # -- grid dimensions -----------------------------------------------------------
+
+    @property
+    def columns(self) -> int:
+        """Number of tile columns (partial tiles at the right edge count)."""
+        return max(1, math.ceil(self.canvas_width / self.tile_size))
+
+    @property
+    def rows(self) -> int:
+        """Number of tile rows (partial tiles at the bottom edge count)."""
+        return max(1, math.ceil(self.canvas_height / self.tile_size))
+
+    @property
+    def tile_count(self) -> int:
+        return self.columns * self.rows
+
+    # -- id arithmetic ---------------------------------------------------------------
+
+    def tile_id(self, column: int, row: int) -> int:
+        """Row-major tile id of grid cell ``(column, row)``."""
+        if not (0 <= column < self.columns and 0 <= row < self.rows):
+            raise FetchError(
+                f"tile ({column}, {row}) outside the {self.columns}x{self.rows} grid"
+            )
+        return row * self.columns + column
+
+    def tile_coords(self, tile_id: int) -> tuple[int, int]:
+        """Inverse of :meth:`tile_id`: ``tile_id -> (column, row)``."""
+        if not (0 <= tile_id < self.tile_count):
+            raise FetchError(f"tile id {tile_id} outside 0..{self.tile_count - 1}")
+        return tile_id % self.columns, tile_id // self.columns
+
+    def tile_rect(self, tile_id: int) -> Rect:
+        """Canvas-space rectangle covered by a tile (clipped to the canvas)."""
+        column, row = self.tile_coords(tile_id)
+        xmin = column * self.tile_size
+        ymin = row * self.tile_size
+        xmax = min(self.canvas_width, xmin + self.tile_size)
+        ymax = min(self.canvas_height, ymin + self.tile_size)
+        return Rect(xmin, ymin, xmax, ymax)
+
+    def tile_containing(self, x: float, y: float) -> int:
+        """The id of the tile containing canvas point ``(x, y)``."""
+        column = min(self.columns - 1, max(0, int(x // self.tile_size)))
+        row = min(self.rows - 1, max(0, int(y // self.tile_size)))
+        return self.tile_id(column, row)
+
+    # -- viewport queries --------------------------------------------------------------
+
+    def tiles_for_rect(self, rect: Rect) -> list[int]:
+        """The ids of every tile intersecting ``rect``, in row-major order.
+
+        This is what the frontend requests for a viewport under static
+        tiling (the orange tiles of Figure 4a).
+        """
+        first_col = max(0, int(math.floor(rect.xmin / self.tile_size)))
+        last_col = min(self.columns - 1, int(math.floor(self._inclusive(rect.xmax) / self.tile_size)))
+        first_row = max(0, int(math.floor(rect.ymin / self.tile_size)))
+        last_row = min(self.rows - 1, int(math.floor(self._inclusive(rect.ymax) / self.tile_size)))
+        tiles: list[int] = []
+        for row in range(first_row, last_row + 1):
+            for column in range(first_col, last_col + 1):
+                tiles.append(self.tile_id(column, row))
+        return tiles
+
+    def _inclusive(self, coordinate: float) -> float:
+        """Treat a viewport edge exactly on a tile boundary as belonging to
+        the tile to its left/top (so a 1024-wide viewport aligned to a
+        1024-tile grid requests exactly one column of tiles)."""
+        if coordinate > 0 and coordinate == int(coordinate) and coordinate % self.tile_size == 0:
+            return coordinate - 1
+        return coordinate
+
+    def aligned(self, rect: Rect) -> bool:
+        """True when ``rect``'s corners all lie on tile boundaries (trace a)."""
+        return (
+            rect.xmin % self.tile_size == 0
+            and rect.ymin % self.tile_size == 0
+            and rect.xmax % self.tile_size == 0
+            and rect.ymax % self.tile_size == 0
+        )

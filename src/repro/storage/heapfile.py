@@ -1,0 +1,164 @@
+"""Slotted-page heap file storing variable-length records.
+
+Each heap page has the classic slotted layout::
+
+    +--------+-----------------------+----------------------+
+    | header | slot directory (grows | record payloads      |
+    |        | downward from header) | (grow upward from    |
+    |        |                       |  the end of the page)|
+    +--------+-----------------------+----------------------+
+
+Header: ``<H`` slot_count, ``<H`` free_space_offset.
+Each slot: ``<H`` offset, ``<H`` length; a length of 0 marks a deleted slot.
+
+Records are addressed by :class:`~repro.storage.row.RecordId` and never span
+pages, so the maximum record size is bounded by the page size.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterator, Sequence
+
+from ..errors import PageError, RecordNotFoundError
+from .pager import BufferPool
+from .row import RecordId, decode_row, encode_row
+from .schema import TableSchema
+
+_HEADER = struct.Struct("<HH")  # slot_count, free_space_offset
+_SLOT = struct.Struct("<HH")  # record offset, record length
+
+
+class HeapFile:
+    """A collection of slotted pages holding one table's records."""
+
+    def __init__(self, pool: BufferPool, schema: TableSchema) -> None:
+        self._pool = pool
+        self._schema = schema
+        self._page_nos: list[int] = []
+        self._record_count = 0
+
+    # -- page-format helpers ---------------------------------------------------
+
+    def _init_page(self, page: bytearray) -> None:
+        _HEADER.pack_into(page, 0, 0, self._pool.page_size)
+
+    def _page_header(self, page: bytearray) -> tuple[int, int]:
+        return _HEADER.unpack_from(page, 0)
+
+    def _slot(self, page: bytearray, slot_no: int) -> tuple[int, int]:
+        return _SLOT.unpack_from(page, _HEADER.size + slot_no * _SLOT.size)
+
+    def _set_slot(self, page: bytearray, slot_no: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(page, _HEADER.size + slot_no * _SLOT.size, offset, length)
+
+    def _free_space(self, page: bytearray) -> int:
+        slot_count, free_offset = self._page_header(page)
+        directory_end = _HEADER.size + slot_count * _SLOT.size
+        return free_offset - directory_end
+
+    # -- public API -------------------------------------------------------------
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def page_count(self) -> int:
+        return len(self._page_nos)
+
+    def __len__(self) -> int:
+        return self._record_count
+
+    def insert(self, row: Sequence[Any]) -> RecordId:
+        """Append an (already coerced) row; returns its :class:`RecordId`."""
+        payload = encode_row(row, self._schema)
+        needed = len(payload) + _SLOT.size
+        max_payload = self._pool.page_size - _HEADER.size - _SLOT.size
+        if len(payload) > max_payload:
+            raise PageError(
+                f"record of {len(payload)} bytes exceeds page capacity "
+                f"({max_payload} bytes)"
+            )
+        page_no, page = self._find_page_with_space(needed)
+        slot_count, free_offset = self._page_header(page)
+        record_offset = free_offset - len(payload)
+        page[record_offset:free_offset] = payload
+        self._set_slot(page, slot_count, record_offset, len(payload))
+        _HEADER.pack_into(page, 0, slot_count + 1, record_offset)
+        self._pool.mark_dirty(page_no)
+        self._record_count += 1
+        return RecordId(page_no=page_no, slot_no=slot_count)
+
+    def _find_page_with_space(self, needed: int) -> tuple[int, bytearray]:
+        # Appending workloads dominate (bulk loads), so only the last page is
+        # checked before allocating a new one.
+        if self._page_nos:
+            last_no = self._page_nos[-1]
+            page = self._pool.get_page(last_no)
+            if self._free_space(page) >= needed:
+                return last_no, page
+        page_no = self._pool.allocate_page()
+        page = self._pool.get_page(page_no)
+        self._init_page(page)
+        self._pool.mark_dirty(page_no)
+        self._page_nos.append(page_no)
+        return page_no, page
+
+    def fetch(self, rid: RecordId) -> tuple[Any, ...]:
+        """Return the row stored at ``rid``."""
+        if rid.page_no not in set(self._page_nos):
+            raise RecordNotFoundError(f"no such page in heap file: {rid}")
+        page = self._pool.get_page(rid.page_no)
+        slot_count, _ = self._page_header(page)
+        if rid.slot_no >= slot_count:
+            raise RecordNotFoundError(f"slot out of range: {rid}")
+        offset, length = self._slot(page, rid.slot_no)
+        if length == 0:
+            raise RecordNotFoundError(f"record was deleted: {rid}")
+        return decode_row(bytes(page[offset : offset + length]), self._schema)
+
+    def delete(self, rid: RecordId) -> None:
+        """Tombstone the record at ``rid`` (space is not reclaimed)."""
+        page = self._pool.get_page(rid.page_no)
+        slot_count, _ = self._page_header(page)
+        if rid.page_no not in set(self._page_nos) or rid.slot_no >= slot_count:
+            raise RecordNotFoundError(f"cannot delete missing record: {rid}")
+        offset, length = self._slot(page, rid.slot_no)
+        if length == 0:
+            raise RecordNotFoundError(f"record already deleted: {rid}")
+        self._set_slot(page, rid.slot_no, offset, 0)
+        self._pool.mark_dirty(rid.page_no)
+        self._record_count -= 1
+
+    def update(self, rid: RecordId, row: Sequence[Any]) -> RecordId:
+        """Replace the record at ``rid``; may move it to a new rid."""
+        payload = encode_row(row, self._schema)
+        page = self._pool.get_page(rid.page_no)
+        offset, length = self._slot(page, rid.slot_no)
+        if length == 0:
+            raise RecordNotFoundError(f"cannot update deleted record: {rid}")
+        if len(payload) <= length:
+            page[offset : offset + len(payload)] = payload
+            self._set_slot(page, rid.slot_no, offset, len(payload))
+            self._pool.mark_dirty(rid.page_no)
+            return rid
+        self.delete(rid)
+        return self.insert(row)
+
+    def scan(self) -> Iterator[tuple[RecordId, tuple[Any, ...]]]:
+        """Yield every live record as ``(rid, row)`` in physical order."""
+        for page_no in self._page_nos:
+            page = self._pool.get_page(page_no)
+            slot_count, _ = self._page_header(page)
+            for slot_no in range(slot_count):
+                offset, length = self._slot(page, slot_no)
+                if length == 0:
+                    continue
+                row = decode_row(bytes(page[offset : offset + length]), self._schema)
+                yield RecordId(page_no=page_no, slot_no=slot_no), row
+
+    def scan_rows(self) -> Iterator[tuple[Any, ...]]:
+        """Yield every live record without its rid."""
+        for _, row in self.scan():
+            yield row

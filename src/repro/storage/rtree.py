@@ -1,0 +1,478 @@
+"""An R-tree spatial index over axis-aligned bounding boxes.
+
+This is the substitute for PostgreSQL's GiST index in the paper's second
+database design: every tuple stores a ``bbox`` column and "queries that
+request tuples whose bounding boxes intersect with a given rectangle should
+run fast".  Both the dynamic-box fetcher and the spatial static-tile fetcher
+issue exactly such intersection queries.
+
+Two construction paths are provided:
+
+* incremental :meth:`RTreeIndex.insert` with quadratic node splitting
+  (Guttman's classic algorithm), and
+* :meth:`RTreeIndex.bulk_load`, a Sort-Tile-Recursive (STR) packing bulk
+  loader that builds a well-filled tree orders of magnitude faster — this is
+  what the backend indexer uses when precomputing placement tables for large
+  layers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..errors import StorageError
+from .row import RecordId
+
+DEFAULT_MAX_ENTRIES = 32
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise StorageError(f"degenerate rectangle: {self}")
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles share any point (boundaries count)."""
+        return not (
+            self.xmax < other.xmin
+            or other.xmax < self.xmin
+            or self.ymax < other.ymin
+            or other.ymax < self.ymin
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and self.xmax >= other.xmax
+            and self.ymax >= other.ymax
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping rectangle, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.xmin, other.xmin),
+            max(self.ymin, other.ymin),
+            min(self.xmax, other.xmax),
+            min(self.ymax, other.ymax),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth required to cover ``other``."""
+        return self.union(other).area - self.area
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.xmin + dx, self.ymin + dy, self.xmax + dx, self.ymax + dy)
+
+    def scaled(self, factor: float) -> "Rect":
+        """Scale about the center by ``factor`` (>1 grows, <1 shrinks)."""
+        if factor <= 0:
+            raise StorageError(f"scale factor must be positive, got {factor}")
+        cx, cy = self.center
+        half_w = self.width * factor / 2.0
+        half_h = self.height * factor / 2.0
+        return Rect(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+    @classmethod
+    def from_tuple(cls, values: Sequence[float]) -> "Rect":
+        if len(values) != 4:
+            raise StorageError(f"bbox must have 4 values, got {values!r}")
+        return cls(float(values[0]), float(values[1]), float(values[2]), float(values[3]))
+
+    @classmethod
+    def from_point(cls, x: float, y: float, half_extent: float = 0.0) -> "Rect":
+        return cls(x - half_extent, y - half_extent, x + half_extent, y + half_extent)
+
+
+class _RNode:
+    """An R-tree node; leaves store ``(Rect, RecordId)`` entries, internal
+    nodes store ``(Rect, child_node)`` entries."""
+
+    __slots__ = ("is_leaf", "entries", "mbr")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.entries: list[tuple[Rect, Any]] = []
+        self.mbr: Rect | None = None
+
+    def recompute_mbr(self) -> None:
+        if not self.entries:
+            self.mbr = None
+            return
+        mbr = self.entries[0][0]
+        for rect, _ in self.entries[1:]:
+            mbr = mbr.union(rect)
+        self.mbr = mbr
+
+
+class RTreeIndex:
+    """An R-tree over ``(bbox, rid)`` entries supporting intersection search."""
+
+    kind = "rtree"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_fill: float = 0.4,
+    ) -> None:
+        if max_entries < 4:
+            raise StorageError(f"rtree max_entries must be >= 4, got {max_entries}")
+        if not 0.0 < min_fill <= 0.5:
+            raise StorageError(f"rtree min_fill must be in (0, 0.5], got {min_fill}")
+        self.name = name
+        self.max_entries = max_entries
+        self.min_entries = max(1, int(math.floor(max_entries * min_fill)))
+        self._root = _RNode(is_leaf=True)
+        self._count = 0
+        self.lookups = 0
+        self.inserts = 0
+        self.nodes_visited = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- incremental insertion (Guttman quadratic split) ------------------------
+
+    def insert(self, rect: Rect | Sequence[float], rid: RecordId) -> None:
+        """Insert one ``bbox -> rid`` entry."""
+        if not isinstance(rect, Rect):
+            rect = Rect.from_tuple(rect)
+        self.inserts += 1
+        split = self._insert_recursive(self._root, rect, rid)
+        if split is not None:
+            old_root = self._root
+            new_root = _RNode(is_leaf=False)
+            new_root.entries = [
+                (old_root.mbr, old_root),  # type: ignore[list-item]
+                (split.mbr, split),  # type: ignore[list-item]
+            ]
+            new_root.recompute_mbr()
+            self._root = new_root
+        self._count += 1
+
+    def _insert_recursive(self, node: _RNode, rect: Rect, rid: RecordId) -> _RNode | None:
+        if node.is_leaf:
+            node.entries.append((rect, rid))
+            node.mbr = rect if node.mbr is None else node.mbr.union(rect)
+            if len(node.entries) > self.max_entries:
+                return self._split_node(node)
+            return None
+        best_index = self._choose_subtree(node, rect)
+        child_rect, child = node.entries[best_index]
+        split = self._insert_recursive(child, rect, rid)
+        node.entries[best_index] = (child.mbr, child)  # type: ignore[list-item]
+        if split is not None:
+            node.entries.append((split.mbr, split))  # type: ignore[list-item]
+        node.mbr = rect if node.mbr is None else node.mbr.union(rect)
+        if len(node.entries) > self.max_entries:
+            return self._split_node(node)
+        return None
+
+    def _choose_subtree(self, node: _RNode, rect: Rect) -> int:
+        best_index = 0
+        best_enlargement = math.inf
+        best_area = math.inf
+        for index, (child_rect, _) in enumerate(node.entries):
+            enlargement = child_rect.enlargement(rect)
+            area = child_rect.area
+            if enlargement < best_enlargement or (
+                enlargement == best_enlargement and area < best_area
+            ):
+                best_index = index
+                best_enlargement = enlargement
+                best_area = area
+        return best_index
+
+    def _split_node(self, node: _RNode) -> _RNode:
+        """Quadratic split: pick the two entries wasting the most area as
+        seeds, distribute the rest by minimum enlargement."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        mbr_a = entries[seed_a][0]
+        mbr_b = entries[seed_b][0]
+        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+
+        for entry in remaining:
+            rect = entry[0]
+            # Force assignment when one group must take everything left to
+            # reach minimum fill.
+            if len(group_a) + 1 < self.min_entries and len(group_b) >= self.min_entries:
+                group_a.append(entry)
+                mbr_a = mbr_a.union(rect)
+                continue
+            if len(group_b) + 1 < self.min_entries and len(group_a) >= self.min_entries:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(rect)
+                continue
+            growth_a = mbr_a.enlargement(rect)
+            growth_b = mbr_b.enlargement(rect)
+            if growth_a < growth_b or (growth_a == growth_b and mbr_a.area <= mbr_b.area):
+                group_a.append(entry)
+                mbr_a = mbr_a.union(rect)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(rect)
+
+        node.entries = group_a
+        node.recompute_mbr()
+        sibling = _RNode(is_leaf=node.is_leaf)
+        sibling.entries = group_b
+        sibling.recompute_mbr()
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(entries: list[tuple[Rect, Any]]) -> tuple[int, int]:
+        worst_pair = (0, 1)
+        worst_waste = -math.inf
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                rect_i, rect_j = entries[i][0], entries[j][0]
+                waste = rect_i.union(rect_j).area - rect_i.area - rect_j.area
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst_pair = (i, j)
+        return worst_pair
+
+    # -- bulk loading (Sort-Tile-Recursive) --------------------------------------
+
+    def bulk_load(self, entries: Iterable[tuple[Rect | Sequence[float], RecordId]]) -> None:
+        """Replace the tree contents with an STR-packed tree over ``entries``.
+
+        Far faster than repeated :meth:`insert` for large layers; this is the
+        path the backend indexer uses during precomputation.
+        """
+        normalized: list[tuple[Rect, RecordId]] = []
+        for rect, rid in entries:
+            if not isinstance(rect, Rect):
+                rect = Rect.from_tuple(rect)
+            normalized.append((rect, rid))
+        self._count = len(normalized)
+        self.inserts += len(normalized)
+        if not normalized:
+            self._root = _RNode(is_leaf=True)
+            return
+
+        # Build packed leaves.
+        leaves = self._str_pack_leaves(normalized)
+        # Recursively pack internal levels until a single root remains.
+        level: list[_RNode] = leaves
+        while len(level) > 1:
+            level = self._pack_internal_level(level)
+        self._root = level[0]
+
+    def _str_pack_leaves(self, entries: list[tuple[Rect, RecordId]]) -> list[_RNode]:
+        capacity = self.max_entries
+        total = len(entries)
+        leaf_count = math.ceil(total / capacity)
+        slice_count = math.ceil(math.sqrt(leaf_count))
+        entries_sorted = sorted(entries, key=lambda e: e[0].center[0])
+        slice_size = math.ceil(total / slice_count)
+        leaves: list[_RNode] = []
+        for start in range(0, total, slice_size):
+            vertical_slice = sorted(
+                entries_sorted[start : start + slice_size],
+                key=lambda e: e[0].center[1],
+            )
+            for leaf_start in range(0, len(vertical_slice), capacity):
+                node = _RNode(is_leaf=True)
+                node.entries = list(vertical_slice[leaf_start : leaf_start + capacity])
+                node.recompute_mbr()
+                leaves.append(node)
+        return leaves
+
+    def _pack_internal_level(self, children: list[_RNode]) -> list[_RNode]:
+        capacity = self.max_entries
+        total = len(children)
+        node_count = math.ceil(total / capacity)
+        slice_count = math.ceil(math.sqrt(node_count))
+        children_sorted = sorted(children, key=lambda n: n.mbr.center[0])  # type: ignore[union-attr]
+        slice_size = math.ceil(total / slice_count)
+        parents: list[_RNode] = []
+        for start in range(0, total, slice_size):
+            vertical_slice = sorted(
+                children_sorted[start : start + slice_size],
+                key=lambda n: n.mbr.center[1],  # type: ignore[union-attr]
+            )
+            for node_start in range(0, len(vertical_slice), capacity):
+                parent = _RNode(is_leaf=False)
+                parent.entries = [
+                    (child.mbr, child)  # type: ignore[list-item]
+                    for child in vertical_slice[node_start : node_start + capacity]
+                ]
+                parent.recompute_mbr()
+                parents.append(parent)
+        return parents
+
+    # -- queries ---------------------------------------------------------------
+
+    def search(self, query: Rect | Sequence[float]) -> list[RecordId]:
+        """Return the rids of every entry whose bbox intersects ``query``."""
+        if not isinstance(query, Rect):
+            query = Rect.from_tuple(query)
+        self.lookups += 1
+        results: list[RecordId] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.nodes_visited += 1
+            if node.mbr is None or not node.mbr.intersects(query):
+                continue
+            if node.is_leaf:
+                for rect, rid in node.entries:
+                    if rect.intersects(query):
+                        results.append(rid)
+            else:
+                for rect, child in node.entries:
+                    if rect.intersects(query):
+                        stack.append(child)
+        return results
+
+    def search_entries(self, query: Rect | Sequence[float]) -> list[tuple[Rect, RecordId]]:
+        """Like :meth:`search` but also returns each entry's bbox."""
+        if not isinstance(query, Rect):
+            query = Rect.from_tuple(query)
+        self.lookups += 1
+        results: list[tuple[Rect, RecordId]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.nodes_visited += 1
+            if node.mbr is None or not node.mbr.intersects(query):
+                continue
+            if node.is_leaf:
+                for rect, rid in node.entries:
+                    if rect.intersects(query):
+                        results.append((rect, rid))
+            else:
+                for rect, child in node.entries:
+                    if rect.intersects(query):
+                        stack.append(child)
+        return results
+
+    def delete(self, rect: Rect | Sequence[float], rid: RecordId) -> bool:
+        """Remove one entry (exact bbox + rid match).  Returns False if absent."""
+        if not isinstance(rect, Rect):
+            rect = Rect.from_tuple(rect)
+        found = self._delete_recursive(self._root, rect, rid)
+        if found:
+            self._count -= 1
+        return found
+
+    def _delete_recursive(self, node: _RNode, rect: Rect, rid: RecordId) -> bool:
+        if node.mbr is None or not node.mbr.intersects(rect):
+            return False
+        if node.is_leaf:
+            for index, (entry_rect, entry_rid) in enumerate(node.entries):
+                if entry_rid == rid and entry_rect == rect:
+                    node.entries.pop(index)
+                    node.recompute_mbr()
+                    return True
+            return False
+        for index, (child_rect, child) in enumerate(node.entries):
+            if child_rect.intersects(rect) and self._delete_recursive(child, rect, rid):
+                node.entries[index] = (child.mbr if child.mbr else child_rect, child)
+                node.recompute_mbr()
+                return True
+        return False
+
+    def all_entries(self) -> Iterator[tuple[Rect, RecordId]]:
+        """Yield every ``(bbox, rid)`` entry."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(child for _, child in node.entries)
+
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.entries[0][1]
+            height += 1
+        return height
+
+    def validate(self) -> None:
+        """Check MBR containment invariants and entry counts."""
+        counted = self._validate_node(self._root)
+        if counted != self._count:
+            raise StorageError(
+                f"index {self.name!r}: entry count mismatch "
+                f"({counted} found, {self._count} recorded)"
+            )
+
+    def _validate_node(self, node: _RNode) -> int:
+        if node.mbr is None:
+            if node.entries:
+                raise StorageError(f"index {self.name!r}: node has entries but no MBR")
+            return 0
+        if node.is_leaf:
+            for rect, _ in node.entries:
+                if not node.mbr.contains(rect):
+                    raise StorageError(
+                        f"index {self.name!r}: leaf MBR does not contain entry"
+                    )
+            return len(node.entries)
+        counted = 0
+        for rect, child in node.entries:
+            if child.mbr is None or not rect.contains(child.mbr):
+                raise StorageError(
+                    f"index {self.name!r}: child MBR not contained in parent entry"
+                )
+            if not node.mbr.contains(rect):
+                raise StorageError(
+                    f"index {self.name!r}: node MBR does not contain child rect"
+                )
+            counted += self._validate_node(child)
+        return counted

@@ -1,0 +1,82 @@
+"""Per-table statistics used by the mini-SQL planner and the benchmark report.
+
+The statistics are deliberately simple — row counts, per-column min/max and
+distinct-value estimates — which is enough for the planner to choose between
+a full scan, a key-index lookup and a spatial-index probe, and for the
+benchmark harness to report dataset characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .schema import TableSchema
+from .types import ColumnType
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for a single column."""
+
+    name: str
+    non_null_count: int = 0
+    null_count: int = 0
+    min_value: Any = None
+    max_value: Any = None
+    approx_distinct: int = 0
+
+    def observe(self, value: Any) -> None:
+        if value is None:
+            self.null_count += 1
+            return
+        self.non_null_count += 1
+        comparable = value if not isinstance(value, (tuple, list)) else tuple(value)
+        if self.min_value is None or comparable < self.min_value:
+            self.min_value = comparable
+        if self.max_value is None or comparable > self.max_value:
+            self.max_value = comparable
+
+
+@dataclass
+class TableStats:
+    """Statistics for a whole table."""
+
+    table_name: str
+    row_count: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls, schema: TableSchema) -> "TableStats":
+        return cls(
+            table_name=schema.name,
+            columns={c.name: ColumnStats(name=c.name) for c in schema.columns},
+        )
+
+    def observe_row(self, schema: TableSchema, row: tuple[Any, ...]) -> None:
+        self.row_count += 1
+        for column, value in zip(schema.columns, row):
+            self.columns[column.name].observe(value)
+
+    def selectivity_estimate(self, column: str, schema: TableSchema) -> float:
+        """Crude equality-selectivity estimate for ``column``.
+
+        Returns the expected fraction of rows matching one key.  Used by the
+        planner to prefer an index lookup over a scan.
+        """
+        stats = self.columns.get(column)
+        if stats is None or self.row_count == 0 or stats.non_null_count == 0:
+            return 1.0
+        column_type = schema.column(column).type
+        if column_type is ColumnType.INTEGER and stats.min_value is not None:
+            spread = int(stats.max_value) - int(stats.min_value) + 1
+            return 1.0 / max(1, min(spread, self.row_count))
+        return 1.0 / max(1, self.row_count)
+
+
+def compute_stats(schema: TableSchema, rows: list[tuple[Any, ...]]) -> TableStats:
+    """Build :class:`TableStats` by scanning ``rows`` once."""
+    stats = TableStats.empty(schema)
+    for row in rows:
+        stats.observe_row(schema, row)
+    return stats

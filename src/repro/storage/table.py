@@ -1,0 +1,276 @@
+"""A table: heap file storage plus its secondary indexes.
+
+The table keeps every index (B-tree, hash or R-tree) synchronised with the
+heap on insert / delete / update, and exposes the access paths the mini-SQL
+executor and the Kyrix backend use: full scans, key-index lookups and
+spatial-intersection lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..errors import (
+    DuplicateIndexError,
+    SchemaError,
+    StorageError,
+    UnknownIndexError,
+)
+from .btree import BTreeIndex
+from .hashindex import HashIndex
+from .heapfile import HeapFile
+from .pager import BufferPool
+from .row import RecordId
+from .rtree import Rect, RTreeIndex
+from .schema import TableSchema
+from .statistics import TableStats
+
+#: Union of the index implementations a table may carry.
+AnyIndex = BTreeIndex | HashIndex | RTreeIndex
+
+
+@dataclass
+class IndexInfo:
+    """Catalog entry describing one index on a table."""
+
+    name: str
+    column: str
+    kind: str  # "btree" | "hash" | "rtree"
+    unique: bool
+    index: AnyIndex
+
+
+class Table:
+    """A named table with a schema, a heap file and secondary indexes."""
+
+    def __init__(self, schema: TableSchema, pool: BufferPool) -> None:
+        self.schema = schema
+        self._heap = HeapFile(pool, schema)
+        self._indexes: dict[str, IndexInfo] = {}
+        self._stats: TableStats | None = None
+
+    # -- basic properties --------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._heap)
+
+    @property
+    def indexes(self) -> dict[str, IndexInfo]:
+        return dict(self._indexes)
+
+    # -- index management ----------------------------------------------------------
+
+    def create_index(
+        self,
+        name: str,
+        column: str,
+        kind: str = "btree",
+        *,
+        unique: bool = False,
+    ) -> IndexInfo:
+        """Create an index on ``column`` and backfill it from existing rows.
+
+        ``kind`` is one of ``"btree"``, ``"hash"`` or ``"rtree"``.  R-tree
+        indexes require a BBOX column.
+        """
+        if name in self._indexes:
+            raise DuplicateIndexError(f"index {name!r} already exists on {self.name!r}")
+        if not self.schema.has_column(column):
+            raise SchemaError(f"table {self.name!r} has no column {column!r}")
+        column = column.lower()
+        if kind == "btree":
+            index: AnyIndex = BTreeIndex(name, unique=unique)
+        elif kind == "hash":
+            index = HashIndex(name, unique=unique)
+        elif kind == "rtree":
+            index = RTreeIndex(name)
+        else:
+            raise StorageError(f"unknown index kind: {kind!r}")
+        info = IndexInfo(name=name, column=column, kind=kind, unique=unique, index=index)
+        self._backfill_index(info)
+        self._indexes[name] = info
+        return info
+
+    def _backfill_index(self, info: IndexInfo) -> None:
+        column_pos = self.schema.column_index(info.column)
+        if info.kind == "rtree":
+            entries = []
+            for rid, row in self._heap.scan():
+                value = row[column_pos]
+                if value is not None:
+                    entries.append((Rect.from_tuple(value), rid))
+            info.index.bulk_load(entries)  # type: ignore[union-attr]
+            return
+        for rid, row in self._heap.scan():
+            value = row[column_pos]
+            if value is not None:
+                info.index.insert(value, rid)
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise UnknownIndexError(f"no index named {name!r} on table {self.name!r}")
+        del self._indexes[name]
+
+    def get_index(self, name: str) -> IndexInfo:
+        if name not in self._indexes:
+            raise UnknownIndexError(f"no index named {name!r} on table {self.name!r}")
+        return self._indexes[name]
+
+    def find_index_on(self, column: str, kinds: Sequence[str] = ("btree", "hash", "rtree")) -> IndexInfo | None:
+        """Return an index on ``column`` of one of the given kinds, or None."""
+        column = column.lower()
+        for info in self._indexes.values():
+            if info.column == column and info.kind in kinds:
+                return info
+        return None
+
+    # -- data modification ------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any] | dict[str, Any]) -> RecordId:
+        """Insert one row (positional sequence or column mapping)."""
+        if isinstance(values, dict):
+            row = self.schema.coerce_mapping(values)
+        else:
+            row = self.schema.coerce_row(values)
+        rid = self._heap.insert(row)
+        for info in self._indexes.values():
+            value = row[self.schema.column_index(info.column)]
+            if value is None:
+                continue
+            if info.kind == "rtree":
+                info.index.insert(Rect.from_tuple(value), rid)  # type: ignore[arg-type]
+            else:
+                info.index.insert(value, rid)
+        self._stats = None
+        return rid
+
+    def insert_many(self, rows: Iterable[Sequence[Any] | dict[str, Any]]) -> list[RecordId]:
+        """Insert many rows; returns the rids in insertion order."""
+        return [self.insert(row) for row in rows]
+
+    def bulk_load(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Fast-path load of positional rows with deferred index maintenance.
+
+        All rows are appended to the heap first; every index is then rebuilt
+        in one pass (using the R-tree STR bulk loader where applicable).
+        Returns the number of rows loaded.
+        """
+        count = 0
+        for values in rows:
+            row = self.schema.coerce_row(values)
+            self._heap.insert(row)
+            count += 1
+        for info in self._indexes.values():
+            if info.kind == "rtree":
+                info.index = RTreeIndex(info.name)
+            elif info.kind == "hash":
+                info.index = HashIndex(info.name, unique=info.unique)
+            else:
+                info.index = BTreeIndex(info.name, unique=info.unique)
+            self._backfill_index(info)
+        self._stats = None
+        return count
+
+    def delete(self, rid: RecordId) -> None:
+        """Delete the row at ``rid`` and unhook it from every index."""
+        row = self._heap.fetch(rid)
+        for info in self._indexes.values():
+            value = row[self.schema.column_index(info.column)]
+            if value is None:
+                continue
+            if info.kind == "rtree":
+                info.index.delete(Rect.from_tuple(value), rid)  # type: ignore[arg-type]
+            else:
+                info.index.delete(value, rid)
+        self._heap.delete(rid)
+        self._stats = None
+
+    def update(self, rid: RecordId, changes: dict[str, Any]) -> RecordId:
+        """Update the row at ``rid`` with ``{column: new_value}`` changes."""
+        current = self.schema.row_to_dict(self._heap.fetch(rid))
+        current.update(changes)
+        new_row = self.schema.coerce_mapping(current)
+        self.delete(rid)
+        new_rid = self._heap.insert(new_row)
+        for info in self._indexes.values():
+            value = new_row[self.schema.column_index(info.column)]
+            if value is None:
+                continue
+            if info.kind == "rtree":
+                info.index.insert(Rect.from_tuple(value), new_rid)  # type: ignore[arg-type]
+            else:
+                info.index.insert(value, new_rid)
+        self._stats = None
+        return new_rid
+
+    # -- access paths ------------------------------------------------------------------
+
+    def fetch(self, rid: RecordId) -> tuple[Any, ...]:
+        """Return the row stored at ``rid``."""
+        return self._heap.fetch(rid)
+
+    def fetch_dict(self, rid: RecordId) -> dict[str, Any]:
+        return self.schema.row_to_dict(self._heap.fetch(rid))
+
+    def fetch_many(self, rids: Sequence[RecordId]) -> list[tuple[Any, ...]]:
+        return [self._heap.fetch(rid) for rid in rids]
+
+    def scan(self) -> Iterator[tuple[RecordId, tuple[Any, ...]]]:
+        """Full scan yielding ``(rid, row)``."""
+        return self._heap.scan()
+
+    def scan_rows(self) -> Iterator[tuple[Any, ...]]:
+        return self._heap.scan_rows()
+
+    def lookup_key(self, column: str, key: Any) -> list[tuple[RecordId, tuple[Any, ...]]]:
+        """Equality lookup, via an index when available, otherwise a scan."""
+        info = self.find_index_on(column, kinds=("btree", "hash"))
+        if info is not None:
+            rids = info.index.search(key)  # type: ignore[union-attr]
+            return [(rid, self._heap.fetch(rid)) for rid in rids]
+        position = self.schema.column_index(column)
+        return [(rid, row) for rid, row in self._heap.scan() if row[position] == key]
+
+    def lookup_keys(self, column: str, keys: Sequence[Any]) -> list[tuple[RecordId, tuple[Any, ...]]]:
+        """Equality lookup for several keys (IN-list)."""
+        info = self.find_index_on(column, kinds=("btree", "hash"))
+        if info is not None:
+            rids = info.index.search_many(list(keys))  # type: ignore[union-attr]
+            return [(rid, self._heap.fetch(rid)) for rid in rids]
+        wanted = set(keys)
+        position = self.schema.column_index(column)
+        return [(rid, row) for rid, row in self._heap.scan() if row[position] in wanted]
+
+    def spatial_search(self, column: str, query: Rect) -> list[tuple[RecordId, tuple[Any, ...]]]:
+        """Bbox-intersection lookup, via an R-tree when available."""
+        info = self.find_index_on(column, kinds=("rtree",))
+        if info is not None:
+            rids = info.index.search(query)  # type: ignore[union-attr]
+            return [(rid, self._heap.fetch(rid)) for rid in rids]
+        position = self.schema.column_index(column)
+        results = []
+        for rid, row in self._heap.scan():
+            value = row[position]
+            if value is not None and Rect.from_tuple(value).intersects(query):
+                results.append((rid, row))
+        return results
+
+    # -- statistics ------------------------------------------------------------------
+
+    def statistics(self, *, refresh: bool = False) -> TableStats:
+        """Return (possibly cached) table statistics."""
+        if self._stats is None or refresh:
+            stats = TableStats.empty(self.schema)
+            for _, row in self._heap.scan():
+                stats.observe_row(self.schema, row)
+            self._stats = stats
+        return self._stats

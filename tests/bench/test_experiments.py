@@ -1,0 +1,127 @@
+"""Integration tests of the canned experiments at tiny scale.
+
+These exercise the same code paths as the pytest-benchmark targets but on a
+small dataset, and check the qualitative claims the paper makes (who wins,
+in which direction the ablations move) rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    build_stack,
+    dataset_for_scale,
+    fetch_footprint,
+    figure6,
+    figure7,
+    index_design_ablation,
+    prefetch_cache_ablation,
+    separability_ablation,
+)
+from repro.server.schemes import (
+    dbox50_scheme,
+    dbox_scheme,
+    tile_mapping_scheme,
+    tile_spatial_scheme,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_uniform_stack():
+    return build_stack("uniform", scale="tiny", tile_sizes=(1024,))
+
+
+@pytest.fixture(scope="module")
+def tiny_skewed_stack():
+    return build_stack("skewed", scale="tiny", tile_sizes=(1024,))
+
+
+class TestScales:
+    def test_dataset_for_scale(self):
+        assert dataset_for_scale("uniform", "paper").num_points == 100_000_000
+        assert dataset_for_scale("skewed", "tiny").skewed is True
+        assert dataset_for_scale("uniform", "bench").num_points >= 100_000
+
+    def test_tiny_canvas_fits_paper_traces(self):
+        spec = dataset_for_scale("uniform", "tiny")
+        from repro.datagen.traces import paper_traces
+
+        traces = paper_traces(spec.canvas_width, spec.canvas_height)
+        assert set(traces) == {"a", "b", "c"}
+
+
+class TestFigure6And7:
+    SCHEMES = [dbox_scheme(), dbox50_scheme(), tile_spatial_scheme(1024), tile_mapping_scheme(1024)]
+
+    def test_figure6_dbox_wins_overall(self, tiny_uniform_stack):
+        experiment = figure6(stack=tiny_uniform_stack, schemes=self.SCHEMES)
+        assert len(experiment.results) == len(self.SCHEMES) * 3
+        # The headline claim: dbox has the best overall (mean) performance.
+        averages = {s.name: experiment.scheme_average(s.name) for s in self.SCHEMES}
+        assert min(averages, key=averages.get) == "dbox"
+
+    def test_figure7_dbox_wins_on_skewed_data(self, tiny_skewed_stack):
+        experiment = figure7(stack=tiny_skewed_stack, schemes=self.SCHEMES)
+        averages = {s.name: experiment.scheme_average(s.name) for s in self.SCHEMES}
+        assert min(averages, key=averages.get) == "dbox"
+
+    def test_tile_spatial_1024_competitive_on_aligned_trace(self, tiny_uniform_stack):
+        """Paper observation (2): on trace a the aligned 1024 tiles are
+        competitive — better than dbox 50%."""
+        experiment = figure6(
+            stack=tiny_uniform_stack,
+            schemes=[dbox50_scheme(), tile_spatial_scheme(1024)],
+        )
+        trace_a = {r.scheme: r.average_response_ms for r in experiment.by_trace("a")}
+        assert trace_a["tile spatial 1024"] < trace_a["dbox 50%"]
+
+    def test_mapping_design_slower_than_spatial_at_same_tile_size(self, tiny_uniform_stack):
+        experiment = index_design_ablation(stack=tiny_uniform_stack, tile_size=1024)
+        spatial = experiment.scheme_average("tile spatial 1024")
+        mapping = experiment.scheme_average("tile mapping 1024")
+        assert mapping > spatial
+
+
+class TestFootprint:
+    def test_footprint_counts(self, tiny_uniform_stack):
+        results = fetch_footprint(stack=tiny_uniform_stack, tile_sizes=(1024, 4096))
+        by_key = {(r.scheme, r.trace): r for r in results}
+        # Dynamic boxes fetch exactly the viewports on every trace.
+        for trace in ("a", "b", "c"):
+            dbox = by_key[("dbox", trace)]
+            assert dbox.overfetch_ratio == pytest.approx(1.0, rel=0.01)
+            # Big tiles fetch far more area than the viewports need.
+            assert by_key[("tile 4096", trace)].overfetch_ratio > 3.0
+        # Misaligned trace b needs more tile requests than aligned trace a.
+        assert by_key[("tile 1024", "b")].requests >= by_key[("tile 1024", "a")].requests
+        # dbox 50% fetches more area than plain dbox.
+        assert (
+            by_key[("dbox 50%", "a")].fetched_area
+            > by_key[("dbox", "a")].fetched_area
+        )
+
+
+class TestAblations:
+    def test_prefetch_and_cache_help_dbox(self, tiny_uniform_stack):
+        results = prefetch_cache_ablation(stack=tiny_uniform_stack, trace_name="a")
+        by_variant = {r.variant: r for r in results}
+        assert set(by_variant) == {"no-cache", "cache", "cache+momentum"}
+        # Returning along the same trace, caching cannot be slower than no
+        # caching, and momentum prefetching issues prefetch requests.
+        assert (
+            by_variant["cache"].average_response_ms
+            <= by_variant["no-cache"].average_response_ms * 1.5
+        )
+        assert by_variant["cache+momentum"].prefetch_requests > 0
+        assert by_variant["cache"].cache_hit_rate >= by_variant["no-cache"].cache_hit_rate
+
+    def test_separability_skips_precompute_cost(self):
+        results = separability_ablation(scale="tiny")
+        by_variant = {r.variant: r for r in results}
+        assert set(by_variant) == {"separable", "precomputed"}
+        # Skipping placement precomputation must be cheaper to set up, while
+        # query latency stays in the same ballpark.
+        assert (
+            by_variant["separable"].precompute_ms
+            < by_variant["precomputed"].precompute_ms
+        )
+        assert by_variant["separable"].average_response_ms > 0

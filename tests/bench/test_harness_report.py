@@ -1,0 +1,118 @@
+"""Tests for the experiment harness and report rendering."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, SchemeResult, run_experiment, run_scheme_on_trace
+from repro.bench.report import (
+    format_comparison,
+    format_experiment_table,
+    format_figure,
+    format_table,
+    speedup_summary,
+)
+from repro.datagen.traces import Trace
+from repro.metrics.collector import summarize
+from repro.server.schemes import dbox_scheme, tile_spatial_scheme
+
+
+def small_trace(stack, steps: int = 3) -> Trace:
+    """A short tile-aligned trace fitting the tiny test canvas."""
+    viewport = stack.backend.config.viewport_width
+    start_x = stack.spec.canvas_width - viewport - steps * 512
+    positions = [(start_x + i * 512, 512.0) for i in range(steps + 1)]
+    return Trace(name="tiny", positions=tuple(positions))
+
+
+def make_result(scheme: str, trace: str, avg: float) -> SchemeResult:
+    return SchemeResult(
+        scheme=scheme, dataset="uniform", trace=trace, steps=3,
+        average_response_ms=avg, summary=summarize([avg]),
+        query_ms=avg / 2, network_ms=avg / 2, requests=3, objects=30,
+        bytes_fetched=3000, cache_hit_rate=0.0,
+    )
+
+
+class TestHarness:
+    def test_run_scheme_on_trace_measures_steps(self, dots_stack):
+        trace = small_trace(dots_stack)
+        result = run_scheme_on_trace(dots_stack, dbox_scheme(), trace)
+        assert result.steps == 3
+        assert result.scheme == "dbox"
+        assert result.average_response_ms > 0
+        assert result.requests >= 3
+
+    def test_run_experiment_covers_all_scheme_trace_pairs(self, dots_stack):
+        schemes = [dbox_scheme(), tile_spatial_scheme(512)]
+        traces = [small_trace(dots_stack)]
+        experiment = run_experiment(dots_stack, schemes, traces, name="tiny")
+        assert len(experiment.results) == 2
+        assert {r.scheme for r in experiment.results} == {"dbox", "tile spatial 512"}
+
+    def test_repetitions_average(self, dots_stack):
+        traces = [small_trace(dots_stack)]
+        experiment = run_experiment(
+            dots_stack, [dbox_scheme()], traces, repetitions=2
+        )
+        assert len(experiment.results) == 1
+
+    def test_experiment_result_accessors(self):
+        experiment = ExperimentResult(name="x", dataset="uniform")
+        experiment.results = [
+            make_result("dbox", "a", 5.0),
+            make_result("tile spatial 1024", "a", 9.0),
+            make_result("dbox", "b", 7.0),
+            make_result("tile spatial 1024", "b", 6.0),
+        ]
+        assert experiment.best_scheme_per_trace() == {"a": "dbox", "b": "tile spatial 1024"}
+        assert experiment.scheme_average("dbox") == pytest.approx(6.0)
+        assert len(experiment.by_trace("a")) == 2
+        assert len(experiment.by_scheme("dbox")) == 2
+        with pytest.raises(KeyError):
+            experiment.scheme_average("missing")
+
+    def test_scheme_result_row(self):
+        row = make_result("dbox", "a", 5.0).row()
+        assert row["scheme"] == "dbox"
+        assert row["avg_ms"] == 5.0
+        assert row["kilobytes"] == pytest.approx(2.9, abs=0.1)
+
+
+class TestReport:
+    def _experiment(self) -> ExperimentResult:
+        experiment = ExperimentResult(name="demo", dataset="uniform")
+        experiment.results = [
+            make_result("dbox", "a", 5.0),
+            make_result("tile spatial 1024", "a", 10.0),
+        ]
+        return experiment
+
+    def test_format_table_alignment_and_empty(self):
+        assert format_table([]) == "(no rows)"
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_experiment_table_contains_schemes(self):
+        text = format_experiment_table(self._experiment())
+        assert "dbox" in text
+        assert "tile spatial 1024" in text
+
+    def test_format_figure_bars_and_winner(self):
+        text = format_figure(self._experiment(), title="Figure 6")
+        assert "Figure 6" in text
+        assert "Trace-a" in text
+        assert "winners: trace-a: dbox" in text
+        # The slower scheme gets the longer bar.
+        dbox_line = next(l for l in text.splitlines() if l.strip().startswith("dbox"))
+        tile_line = next(l for l in text.splitlines() if "tile spatial" in l)
+        assert tile_line.count("#") > dbox_line.count("#")
+
+    def test_speedup_summary(self):
+        speedups = speedup_summary(self._experiment(), "tile spatial 1024", "dbox")
+        assert speedups["a"] == pytest.approx(2.0)
+
+    def test_format_comparison(self):
+        text = format_comparison([self._experiment()], ["dbox", "missing"])
+        assert "dbox" in text
+        assert "missing" not in text

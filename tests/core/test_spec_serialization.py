@@ -1,0 +1,120 @@
+"""Tests for JSON (de)serialisation of application specifications."""
+
+import pytest
+
+from repro.compiler import collect_issues
+from repro.core import CallablePlacement, dot_renderer, legend_renderer
+from repro.core.spec import (
+    FunctionRegistry,
+    application_from_dict,
+    application_from_json,
+    application_to_dict,
+    application_to_json,
+)
+from repro.errors import SpecError
+
+from .test_compiler import make_valid_app
+
+
+@pytest.fixture()
+def registry() -> FunctionRegistry:
+    registry = FunctionRegistry()
+    registry.register_renderer("dots", dot_renderer())
+    registry.register_renderer("legend", legend_renderer())
+    registry.register("pick_layer_one", lambda row, layer_id: layer_id == 1)
+    registry.register("center_on_row", lambda row: (row["x"], row["y"]))
+    return registry
+
+
+class TestFunctionRegistry:
+    def test_register_and_lookup(self, registry):
+        assert callable(registry.function("pick_layer_one"))
+        assert registry.renderer("dots").name.startswith("dot")
+
+    def test_unknown_names_raise(self, registry):
+        with pytest.raises(SpecError):
+            registry.function("missing")
+        with pytest.raises(SpecError):
+            registry.renderer("missing")
+
+    def test_non_callable_rejected(self, registry):
+        with pytest.raises(SpecError):
+            registry.register("bad", 42)
+        with pytest.raises(SpecError):
+            registry.register_renderer("bad", lambda row: [])
+
+    def test_reverse_lookup(self, registry):
+        func = registry.function("pick_layer_one")
+        assert registry.name_of(func) == "pick_layer_one"
+        assert registry.name_of(lambda: None) is None
+
+
+class TestRoundTrip:
+    def _attach_registry_pieces(self, app, registry):
+        """Swap the app's anonymous renderers for registered ones so the
+        round trip is loss-free."""
+        for canvas in app.canvases.values():
+            for layer in canvas.layers:
+                layer.renderer = (
+                    registry.renderer("legend") if layer.static else registry.renderer("dots")
+                )
+        for jump in app.jumps:
+            jump.selector = registry.function("pick_layer_one")
+        return app
+
+    def test_dict_round_trip_preserves_structure(self, registry):
+        app = self._attach_registry_pieces(make_valid_app(), registry)
+        data = application_to_dict(app, registry)
+        rebuilt = application_from_dict(data, registry)
+        assert rebuilt.name == app.name
+        assert set(rebuilt.canvases) == set(app.canvases)
+        assert rebuilt.initial_canvas_id == app.initial_canvas_id
+        assert len(rebuilt.jumps) == len(app.jumps)
+        rebuilt_layer = rebuilt.canvas("overview").layer(0)
+        original_layer = app.canvas("overview").layer(0)
+        assert rebuilt_layer.static == original_layer.static
+        assert rebuilt_layer.placement.x_column == original_layer.placement.x_column
+
+    def test_round_trip_still_validates(self, registry):
+        app = self._attach_registry_pieces(make_valid_app(), registry)
+        rebuilt = application_from_dict(application_to_dict(app, registry), registry)
+        assert collect_issues(rebuilt) == []
+
+    def test_json_round_trip(self, registry):
+        app = self._attach_registry_pieces(make_valid_app(), registry)
+        text = application_to_json(app, registry)
+        rebuilt = application_from_json(text, registry)
+        assert rebuilt.describe()["name"] == "demo"
+
+    def test_jump_functions_resolved_from_registry(self, registry):
+        app = self._attach_registry_pieces(make_valid_app(), registry)
+        app.jumps[0].new_viewport = registry.function("center_on_row")
+        rebuilt = application_from_dict(application_to_dict(app, registry), registry)
+        jump = rebuilt.jumps_from("overview")[0]
+        assert jump.triggered_by({}, 1) is True
+        assert jump.triggered_by({}, 0) is False
+        assert jump.destination_viewport_center({"x": 3, "y": 4}) == (3, 4)
+
+    def test_callable_placement_serialised_by_name(self, registry):
+        registry.register("pie", lambda row: (row["x"], row["y"], 10, 10))
+        app = self._attach_registry_pieces(make_valid_app(), registry)
+        app.canvas("overview").layer(0).placement = CallablePlacement(
+            func=registry.function("pie"), name="pie"
+        )
+        rebuilt = application_from_dict(application_to_dict(app, registry), registry)
+        placement = rebuilt.canvas("overview").layer(0).placement
+        assert isinstance(placement, CallablePlacement)
+        assert placement.place({"x": 5, "y": 5}).center == (5, 5)
+
+    def test_unregistered_callables_export_as_none(self):
+        app = make_valid_app()
+        data = application_to_dict(app)  # empty registry
+        layer = data["canvases"][0]["layers"][0]
+        assert layer["renderer"] is None
+
+    def test_unknown_placement_kind_rejected_on_import(self, registry):
+        app = self._attach_registry_pieces(make_valid_app(), registry)
+        data = application_to_dict(app, registry)
+        data["canvases"][0]["layers"][0]["placement"] = {"kind": "hologram"}
+        with pytest.raises(SpecError):
+            application_from_dict(data, registry)

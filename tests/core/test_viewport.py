@@ -1,0 +1,55 @@
+"""Tests for viewports and canvas-space geometry."""
+
+import pytest
+
+from repro.core.viewport import Viewport
+from repro.errors import ViewportError
+from repro.storage.rtree import Rect
+
+
+class TestViewport:
+    def test_non_positive_dimensions_rejected(self):
+        with pytest.raises(ViewportError):
+            Viewport(0, 0, 0, 100)
+        with pytest.raises(ViewportError):
+            Viewport(0, 0, 100, -1)
+
+    def test_center_and_rect(self):
+        viewport = Viewport(10, 20, 100, 50)
+        assert viewport.center == (60, 45)
+        assert viewport.to_rect() == Rect(10, 20, 110, 70)
+        assert viewport.area() == 5000
+
+    def test_panned(self):
+        assert Viewport(0, 0, 10, 10).panned(5, -3) == Viewport(5, -3, 10, 10)
+
+    def test_moved_to_and_centered_at(self):
+        viewport = Viewport(0, 0, 100, 100)
+        assert viewport.moved_to(50, 60).x == 50
+        centered = viewport.centered_at(500, 500)
+        assert centered.center == (500, 500)
+
+    def test_clamped_to_keeps_size(self):
+        viewport = Viewport(-50, 990, 100, 100).clamped_to(1000, 1000)
+        assert viewport.x == 0
+        assert viewport.y == 900
+        assert viewport.width == 100
+
+    def test_clamped_when_viewport_bigger_than_canvas(self):
+        viewport = Viewport(10, 10, 500, 500).clamped_to(100, 100)
+        assert (viewport.x, viewport.y) == (0, 0)
+
+    def test_within(self):
+        assert Viewport(0, 0, 100, 100).within(100, 100)
+        assert not Viewport(1, 0, 100, 100).within(100, 100)
+
+    def test_intersects_and_overlap_fraction(self):
+        a = Viewport(0, 0, 100, 100)
+        b = Viewport(50, 0, 100, 100)
+        assert a.intersects(b)
+        assert a.overlap_fraction(b) == pytest.approx(0.5)
+        assert a.overlap_fraction(Viewport(500, 500, 10, 10)) == 0.0
+
+    def test_from_rect_roundtrip(self):
+        viewport = Viewport(5, 6, 7, 8)
+        assert Viewport.from_rect(viewport.to_rect()) == viewport

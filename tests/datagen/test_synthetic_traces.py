@@ -1,0 +1,181 @@
+"""Tests for the synthetic dot datasets and the Figure 5 traces."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import (
+    PAPER_DENSITY,
+    DotDatasetSpec,
+    generate_points,
+    generate_rows,
+    load_dots,
+    paper_scale_spec,
+    skewed_spec,
+    tiny_spec,
+    uniform_spec,
+)
+from repro.datagen.traces import (
+    Trace,
+    paper_traces,
+    random_walk_trace,
+    trace_a,
+    trace_b,
+    trace_c,
+)
+from repro.errors import KyrixError
+from repro.storage.database import Database
+from repro.storage.rtree import Rect
+
+
+class TestDatasetSpecs:
+    def test_paper_density_constant(self):
+        assert PAPER_DENSITY == pytest.approx(1e-3)
+
+    def test_paper_scale_matches_section_33(self):
+        spec = paper_scale_spec("uniform")
+        assert spec.num_points == 100_000_000
+        assert spec.canvas_width == 1_000_000
+        assert spec.canvas_height == 100_000
+        assert spec.density == pytest.approx(PAPER_DENSITY)
+        assert paper_scale_spec("skewed").skewed is True
+
+    def test_default_benchmark_scale_keeps_paper_density(self):
+        spec = uniform_spec()
+        assert spec.density == pytest.approx(PAPER_DENSITY, rel=0.1)
+
+    def test_skewed_dense_region_is_20_percent_of_area(self):
+        spec = skewed_spec()
+        xmin, ymin, xmax, ymax = spec.dense_rect
+        dense_area = (xmax - xmin) * (ymax - ymin)
+        assert dense_area / (spec.canvas_width * spec.canvas_height) == pytest.approx(0.2)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(KyrixError):
+            DotDatasetSpec(name="bad", num_points=0)
+        with pytest.raises(KyrixError):
+            DotDatasetSpec(name="bad", canvas_width=-1)
+        with pytest.raises(KyrixError):
+            DotDatasetSpec(name="bad", skewed=True, dense_fraction=1.5)
+
+    def test_expected_objects_per_viewport(self):
+        spec = uniform_spec()
+        expected = spec.expected_objects_per_viewport(1024, 1024)
+        assert expected == pytest.approx(spec.density * 1024 * 1024)
+
+
+class TestGeneration:
+    def test_generation_is_deterministic(self):
+        spec = tiny_spec(num_points=100)
+        assert np.array_equal(generate_points(spec), generate_points(spec))
+
+    def test_different_seeds_differ(self):
+        a = generate_points(tiny_spec(num_points=100, seed=1))
+        b = generate_points(tiny_spec(num_points=100, seed=2))
+        assert not np.array_equal(a, b)
+
+    def test_points_within_canvas(self):
+        spec = tiny_spec(num_points=500)
+        points = generate_points(spec)
+        assert points.shape == (500, 2)
+        assert points[:, 0].min() >= 0 and points[:, 0].max() <= spec.canvas_width
+        assert points[:, 1].min() >= 0 and points[:, 1].max() <= spec.canvas_height
+
+    def test_skewed_dataset_concentrates_points(self):
+        spec = skewed_spec(num_points=5_000)
+        points = generate_points(spec)
+        xmin, ymin, xmax, ymax = spec.dense_rect
+        inside = np.sum(
+            (points[:, 0] >= xmin) & (points[:, 0] <= xmax)
+            & (points[:, 1] >= ymin) & (points[:, 1] <= ymax)
+        )
+        fraction = inside / spec.num_points
+        # 80% directed there plus ~20% * 20% of the uniform remainder.
+        assert fraction == pytest.approx(0.84, abs=0.03)
+
+    def test_rows_have_bbox_around_point(self):
+        spec = tiny_spec(num_points=10)
+        for tuple_id, x, y, bbox in generate_rows(spec):
+            assert bbox == (
+                x - spec.half_extent, y - spec.half_extent,
+                x + spec.half_extent, y + spec.half_extent,
+            )
+
+    def test_load_dots_creates_indexed_table(self):
+        database = Database()
+        spec = tiny_spec(num_points=200)
+        table = load_dots(database, spec)
+        assert table.row_count == 200
+        assert table.find_index_on("bbox", kinds=("rtree",)) is not None
+        assert table.find_index_on("tuple_id") is not None
+
+    def test_load_dots_without_indexes(self):
+        database = Database()
+        table = load_dots(database, tiny_spec(num_points=50), with_indexes=False)
+        assert table.indexes == {}
+
+
+class TestTraces:
+    CANVAS = (32_768.0, 8_192.0)
+
+    def test_trace_a_is_tile_aligned(self):
+        trace = trace_a(*self.CANVAS)
+        assert all(x % 1024 == 0 and y % 1024 == 0 for x, y in trace.positions)
+        assert trace.steps == 12
+
+    def test_trace_a_moves_left_then_up(self):
+        trace = trace_a(*self.CANVAS)
+        xs = [p[0] for p in trace.positions]
+        ys = [p[1] for p in trace.positions]
+        assert xs[:7] == sorted(xs[:7], reverse=True)      # six steps left
+        assert len(set(ys[:7])) == 1                        # constant y
+        assert ys[6:] == sorted(ys[6:], reverse=True)       # six steps up
+
+    def test_trace_b_is_never_tile_aligned(self):
+        trace = trace_b(*self.CANVAS)
+        assert all(x % 1024 != 0 and y % 1024 != 0 for x, y in trace.positions)
+        assert trace.steps == 12
+
+    def test_trace_b_is_trace_a_shifted_by_half_a_tile(self):
+        a = trace_a(*self.CANVAS)
+        b = trace_b(*self.CANVAS)
+        for (ax, ay), (bx, by) in zip(a.positions, b.positions):
+            assert bx - ax == 512
+            assert by - ay == 512
+
+    def test_trace_c_is_diagonal_with_six_steps(self):
+        trace = trace_c(*self.CANVAS)
+        assert trace.steps == 6
+        xs = [p[0] for p in trace.positions]
+        ys = [p[1] for p in trace.positions]
+        assert xs == sorted(xs)                    # rightwards
+        assert ys == sorted(ys, reverse=True)      # upwards
+
+    def test_traces_fit_on_canvas(self):
+        for trace in paper_traces(*self.CANVAS).values():
+            xmin, ymin, xmax, ymax = trace.bounding_box(1024, 1024)
+            assert xmin >= 0 and ymin >= 0
+            assert xmax <= self.CANVAS[0] and ymax <= self.CANVAS[1]
+
+    def test_traces_cross_the_skewed_dense_region(self):
+        spec = skewed_spec()
+        dense = Rect.from_tuple(spec.dense_rect)
+        for trace in paper_traces(spec.canvas_width, spec.canvas_height).values():
+            touches = any(
+                dense.intersects(Rect(x, y, x + 1024, y + 1024))
+                for x, y in trace.positions
+            )
+            assert touches, f"trace {trace.name} never touches the dense region"
+
+    def test_trace_on_too_small_canvas_raises(self):
+        with pytest.raises(KyrixError):
+            trace_a(4096, 2048)
+
+    def test_paper_traces_keys(self):
+        assert set(paper_traces(*self.CANVAS)) == {"a", "b", "c"}
+
+    def test_random_walk_trace_stays_on_canvas(self):
+        trace = random_walk_trace(*self.CANVAS, steps=20, seed=3)
+        assert len(trace) == 21
+        for x, y in trace.positions:
+            assert 0 <= x <= self.CANVAS[0] - 1024
+            assert 0 <= y <= self.CANVAS[1] - 1024

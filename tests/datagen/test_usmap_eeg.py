@@ -1,0 +1,93 @@
+"""Tests for the US crime-map and EEG data generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.eeg import (
+    EEGSpec,
+    generate_channel,
+    generate_epoch_features,
+    generate_samples,
+    load_eeg,
+)
+from repro.datagen.usmap import USMapSpec, generate_counties, generate_states, load_usmap
+from repro.storage.database import Database
+from repro.storage.rtree import Rect
+
+
+class TestUSMap:
+    def test_state_count_and_bounds(self):
+        spec = USMapSpec()
+        states = list(generate_states(spec))
+        assert len(states) == spec.state_count == 49
+        for state in states:
+            bbox = Rect.from_tuple(state[-1])
+            assert 0 <= bbox.xmin and bbox.xmax <= spec.state_canvas_width
+            assert 0 <= bbox.ymin and bbox.ymax <= spec.state_canvas_height
+            assert 0.5 <= state[6] <= 9.5  # crime rate range
+
+    def test_county_count_and_containment_in_state_cell(self):
+        spec = USMapSpec()
+        counties = list(generate_counties(spec))
+        assert len(counties) == spec.county_count
+        cell_w = spec.county_canvas_width / spec.state_grid
+        cell_h = spec.county_canvas_height / spec.state_grid
+        for county in counties[:100]:
+            state_id = county[1]
+            col = state_id % spec.state_grid
+            row = state_id // spec.state_grid
+            cell = Rect(col * cell_w, row * cell_h, (col + 1) * cell_w, (row + 1) * cell_h)
+            assert cell.contains(Rect.from_tuple(county[-1]))
+
+    def test_county_canvas_is_zoomed_state_canvas(self):
+        spec = USMapSpec(county_zoom=5.0)
+        assert spec.county_canvas_width == spec.state_canvas_width * 5
+
+    def test_generation_deterministic(self):
+        spec = USMapSpec(seed=9)
+        assert list(generate_states(spec)) == list(generate_states(spec))
+
+    def test_load_usmap_builds_indexed_tables(self):
+        database = Database()
+        states, counties = load_usmap(database, USMapSpec())
+        assert states.row_count == 49
+        assert counties.row_count == 49 * 25
+        assert states.find_index_on("bbox", kinds=("rtree",)) is not None
+        assert counties.find_index_on("state_id") is not None
+
+
+class TestEEG:
+    SPEC = EEGSpec(channels=2, sample_rate_hz=32.0, duration_s=60.0, epoch_s=30.0)
+
+    def test_channel_length_and_amplitude(self):
+        signal = generate_channel(self.SPEC, 0)
+        assert len(signal) == self.SPEC.samples_per_channel
+        assert np.abs(signal).max() <= self.SPEC.amplitude_uv + 1e-9
+
+    def test_channels_differ(self):
+        assert not np.array_equal(
+            generate_channel(self.SPEC, 0), generate_channel(self.SPEC, 1)
+        )
+
+    def test_samples_rows_shape(self):
+        rows = list(generate_samples(self.SPEC))
+        assert len(rows) == self.SPEC.channels * self.SPEC.samples_per_channel
+        sample = rows[0]
+        assert len(sample) == 5
+        assert isinstance(sample[-1], tuple) and len(sample[-1]) == 4
+
+    def test_epoch_features_counts_and_positive_power(self):
+        rows = list(generate_epoch_features(self.SPEC))
+        assert len(rows) == self.SPEC.channels * self.SPEC.epochs
+        for row in rows:
+            delta, theta, alpha, spindle = row[3:7]
+            assert delta >= 0 and theta >= 0 and alpha >= 0 and spindle >= 0
+            # Sleep-like synthetic signal: delta dominates the mixture.
+            assert delta >= alpha
+
+    def test_load_eeg_builds_tables(self):
+        database = Database()
+        samples, epochs = load_eeg(database, self.SPEC)
+        assert samples.row_count == self.SPEC.channels * self.SPEC.samples_per_channel
+        assert epochs.row_count == self.SPEC.channels * self.SPEC.epochs
+        assert samples.find_index_on("bbox", kinds=("rtree",)) is not None

@@ -1,0 +1,118 @@
+"""End-to-end integration tests of the example applications.
+
+These import the example modules directly (they live in ``examples/`` at the
+repository root) and drive them the way a user would, asserting the
+interactions complete within the paper's interactivity budget and produce
+sensible data.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+if str(EXAMPLES_DIR) not in sys.path:
+    sys.path.insert(0, str(EXAMPLES_DIR))
+
+from eeg_explorer import build_eeg_application  # noqa: E402
+from usmap_crime import build_usmap_application  # noqa: E402
+
+from repro.client import KyrixFrontend  # noqa: E402
+from repro.compiler import compile_application  # noqa: E402
+from repro.config import INTERACTIVITY_BUDGET_MS  # noqa: E402
+from repro.datagen import EEGSpec, USMapSpec  # noqa: E402
+from repro.server import KyrixBackend, dbox50_scheme, dbox_scheme  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def usmap_frontend():
+    app, database = build_usmap_application(USMapSpec())
+    compiled = compile_application(app)
+    backend = KyrixBackend(database, compiled, app.config)
+    backend.precompute()
+    return KyrixFrontend(backend, dbox50_scheme(), render=True)
+
+
+@pytest.fixture(scope="module")
+def eeg_frontend():
+    spec = EEGSpec(channels=2, sample_rate_hz=32.0, duration_s=120.0)
+    app, database = build_eeg_application(spec)
+    compiled = compile_application(app)
+    backend = KyrixBackend(database, compiled, app.config)
+    backend.precompute()
+    return KyrixFrontend(backend, dbox_scheme(), render=True)
+
+
+class TestUSMapApplication:
+    def test_spec_compiles_without_issues(self):
+        app, _ = build_usmap_application(USMapSpec())
+        compiled = compile_application(app)
+        assert set(compiled.canvases) == {"statemap", "countymap"}
+        # Both dynamic layers require placement precomputation (their
+        # placement reads cx/cy which are not flagged separable).
+        assert compiled.layer_plan("statemap", 1).placement_table is not None
+
+    def test_initial_state_map_load(self, usmap_frontend):
+        breakdown = usmap_frontend.load_initial_canvas()
+        assert usmap_frontend.current_canvas_id == "statemap"
+        assert breakdown.objects_fetched > 0
+        assert breakdown.total_ms < INTERACTIVITY_BUDGET_MS
+        assert usmap_frontend.renderer.nonzero_pixels() > 0
+
+    def test_click_state_jumps_to_county_map(self, usmap_frontend):
+        usmap_frontend.load_initial_canvas()
+        state = usmap_frontend.visible_objects[1][0]
+        jumps = usmap_frontend.available_jumps(state, layer_index=1)
+        assert len(jumps) == 1
+        assert jumps[0][1].startswith("County map of State-")
+        breakdown = usmap_frontend.click(state, layer_index=1)
+        assert usmap_frontend.current_canvas_id == "countymap"
+        assert breakdown.total_ms < INTERACTIVITY_BUDGET_MS
+        # The destination viewport is centred on the clicked state (x5 zoom).
+        center = usmap_frontend.viewport.center
+        assert center[0] == pytest.approx(state["cx"] * 5, abs=1.0)
+        assert center[1] == pytest.approx(state["cy"] * 5, abs=1.0)
+        # Counties fetched around that point belong to nearby states.
+        counties = usmap_frontend.visible_objects[1]
+        assert counties
+
+    def test_legend_layer_does_not_trigger_jump(self, usmap_frontend):
+        usmap_frontend.load_initial_canvas()
+        state = usmap_frontend.visible_objects[1][0]
+        assert usmap_frontend.available_jumps(state, layer_index=0) == []
+
+    def test_pan_on_county_map_stays_interactive(self, usmap_frontend):
+        usmap_frontend.load_initial_canvas()
+        state = usmap_frontend.visible_objects[1][0]
+        usmap_frontend.click(state, layer_index=1)
+        breakdown = usmap_frontend.pan_by(2048, 0)
+        assert breakdown.total_ms < INTERACTIVITY_BUDGET_MS
+
+
+class TestEEGApplication:
+    def test_spectral_overview_loads(self, eeg_frontend):
+        breakdown = eeg_frontend.load_initial_canvas()
+        assert eeg_frontend.current_canvas_id == "spectral"
+        assert breakdown.objects_fetched > 0
+        assert breakdown.total_ms < INTERACTIVITY_BUDGET_MS
+
+    def test_epoch_click_zooms_into_raw_traces(self, eeg_frontend):
+        eeg_frontend.load_initial_canvas()
+        epoch = eeg_frontend.visible_objects[1][0]
+        breakdown = eeg_frontend.click(epoch, layer_index=1)
+        assert eeg_frontend.current_canvas_id == "temporal"
+        assert breakdown.objects_fetched > 0
+        samples = eeg_frontend.visible_objects[1]
+        # The raw samples shown fall inside the viewport's time range.
+        viewport = eeg_frontend.viewport
+        for sample in samples[:50]:
+            assert viewport.x - 1 <= sample["px"] <= viewport.x + viewport.width + 1
+
+    def test_panning_raw_traces(self, eeg_frontend):
+        eeg_frontend.load_initial_canvas()
+        epoch = eeg_frontend.visible_objects[1][0]
+        eeg_frontend.click(epoch, layer_index=1)
+        breakdown = eeg_frontend.pan_by(1000, 0)
+        assert breakdown.total_ms < INTERACTIVITY_BUDGET_MS
+        assert eeg_frontend.average_response_ms() < INTERACTIVITY_BUDGET_MS

@@ -1,0 +1,69 @@
+"""Tests for the mini-SQL tokeniser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.minisql.lexer import Token, TokenType, tokenize
+
+
+def kinds(text: str) -> list[TokenType]:
+    return [t.type for t in tokenize(text)]
+
+
+def values(text: str) -> list[str]:
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_are_lowercased(self):
+        tokens = tokenize("SELECT x FROM t")
+        assert tokens[0].value == "select"
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[2].value == "from"
+
+    def test_identifiers_lowercased(self):
+        assert values("MyTable") == ["mytable"]
+
+    def test_numbers_integer_float_scientific(self):
+        assert values("42 3.5 1e3 2.5e-2") == ["42", "3.5", "1e3", "2.5e-2"]
+        assert all(t is TokenType.NUMBER for t in kinds("42 3.5 1e3")[:-1])
+
+    def test_string_literals(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        assert values("a <= b >= c != d <> e") == ["a", "<=", "b", ">=", "c", "!=", "d", "<>", "e"]
+
+    def test_punctuation_and_operators(self):
+        assert values("f(a, b) * 2") == ["f", "(", "a", ",", "b", ")", "*", "2"]
+
+    def test_line_comments_skipped(self):
+        assert values("select a -- comment here\nfrom t") == ["select", "a", "from", "t"]
+
+    def test_eof_token_always_last(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select @x")
+
+    def test_position_recorded(self):
+        tokens = tokenize("select  x")
+        assert tokens[1].position == 8
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "select", 0)
+        assert token.is_keyword("select", "insert")
+        assert not token.is_keyword("insert")

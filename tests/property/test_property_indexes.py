@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the index structures.
+
+These check the invariants the rest of the system leans on: indexes agree
+with brute force, structural invariants survive arbitrary insert/delete
+sequences, and lookups never return phantom entries.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.btree import BTreeIndex
+from repro.storage.hashindex import HashIndex
+from repro.storage.row import RecordId
+from repro.storage.rtree import Rect, RTreeIndex
+
+
+def rid(n: int) -> RecordId:
+    return RecordId(page_no=n // 64, slot_no=n % 64)
+
+
+keys = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestBTreeProperties:
+    @given(st.lists(keys, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_search_matches_brute_force(self, values):
+        index = BTreeIndex("p", order=8)
+        reference: dict[int, list[RecordId]] = {}
+        for position, key in enumerate(values):
+            index.insert(key, rid(position))
+            reference.setdefault(key, []).append(rid(position))
+        index.validate()
+        for key in set(values) | {0, 1234}:
+            assert sorted(index.search(key)) == sorted(reference.get(key, []))
+
+    @given(st.lists(keys, min_size=1, max_size=200), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_range_search_matches_sorted_filter(self, values, data):
+        index = BTreeIndex("p", order=8)
+        for position, key in enumerate(values):
+            index.insert(key, rid(position))
+        low = data.draw(keys)
+        high = data.draw(st.integers(min_value=low, max_value=1000))
+        result = [k for k, _ in index.range_search(low, high)]
+        expected = sorted(k for k in values if low <= k <= high)
+        assert result == expected
+
+    @given(st.lists(st.tuples(keys, st.booleans()), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_insert_delete_keeps_invariants(self, operations):
+        index = BTreeIndex("p", order=8)
+        live: dict[int, list[RecordId]] = {}
+        counter = 0
+        for key, is_insert in operations:
+            if is_insert or not live.get(key):
+                index.insert(key, rid(counter))
+                live.setdefault(key, []).append(rid(counter))
+                counter += 1
+            else:
+                victim = live[key].pop()
+                assert index.delete(key, victim) is True
+        index.validate()
+        assert len(index) == sum(len(v) for v in live.values())
+        for key, rids in live.items():
+            assert sorted(index.search(key)) == sorted(rids)
+
+
+class TestHashIndexProperties:
+    @given(st.lists(st.tuples(keys, st.booleans()), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_semantics(self, operations):
+        index = HashIndex("p")
+        reference: dict[int, list[RecordId]] = {}
+        counter = 0
+        for key, is_insert in operations:
+            if is_insert or not reference.get(key):
+                index.insert(key, rid(counter))
+                reference.setdefault(key, []).append(rid(counter))
+                counter += 1
+            else:
+                victim = reference[key].pop()
+                index.delete(key, victim)
+        index.validate()
+        for key in set(k for k, _ in operations):
+            assert sorted(index.search(key)) == sorted(reference.get(key, []))
+
+
+rect_coords = st.tuples(
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+    st.floats(min_value=0, max_value=500, allow_nan=False),
+    st.floats(min_value=0, max_value=20, allow_nan=False),
+    st.floats(min_value=0, max_value=20, allow_nan=False),
+)
+
+
+def make_rect(coords) -> Rect:
+    x, y, w, h = coords
+    return Rect(x, y, x + w, y + h)
+
+
+class TestRTreeProperties:
+    @given(st.lists(rect_coords, max_size=200), rect_coords)
+    @settings(max_examples=50, deadline=None)
+    def test_incremental_search_matches_brute_force(self, coords, query_coords):
+        entries = [(make_rect(c), rid(i)) for i, c in enumerate(coords)]
+        tree = RTreeIndex("p", max_entries=6)
+        for rect, r in entries:
+            tree.insert(rect, r)
+        tree.validate()
+        query = make_rect(query_coords)
+        expected = {r for rect, r in entries if rect.intersects(query)}
+        assert set(tree.search(query)) == expected
+
+    @given(st.lists(rect_coords, max_size=400), rect_coords)
+    @settings(max_examples=40, deadline=None)
+    def test_bulk_load_search_matches_brute_force(self, coords, query_coords):
+        entries = [(make_rect(c), rid(i)) for i, c in enumerate(coords)]
+        tree = RTreeIndex("p", max_entries=8)
+        tree.bulk_load(entries)
+        tree.validate()
+        query = make_rect(query_coords)
+        expected = {r for rect, r in entries if rect.intersects(query)}
+        assert set(tree.search(query)) == expected
+
+    @given(st.lists(rect_coords, min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_everything_found_by_enclosing_query(self, coords):
+        entries = [(make_rect(c), rid(i)) for i, c in enumerate(coords)]
+        tree = RTreeIndex("p", max_entries=6)
+        tree.bulk_load(entries)
+        everything = tree.search(Rect(-1, -1, 2000, 1000))
+        assert len(everything) == len(entries)
+
+    @given(rect_coords, st.floats(min_value=0.1, max_value=3.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_rect_scaling_preserves_center_and_scales_area(self, coords, factor):
+        rect = make_rect(coords)
+        scaled = rect.scaled(factor)
+        assert scaled.center[0] == pytest.approx(rect.center[0], abs=1e-6)
+        assert scaled.center[1] == pytest.approx(rect.center[1], abs=1e-6)
+        assert scaled.area == pytest.approx(rect.area * factor * factor, rel=1e-6, abs=1e-9)
+
+
+import pytest  # noqa: E402  (used by approx in the property above)

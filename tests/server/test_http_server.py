@@ -1,0 +1,75 @@
+"""Tests for the Flask HTTP deployment of the backend."""
+
+import json
+
+import pytest
+
+flask = pytest.importorskip("flask")
+
+from repro.server.http_server import create_app
+
+
+@pytest.fixture()
+def client(dots_stack):
+    app = create_app(dots_stack.backend)
+    app.config["TESTING"] = True
+    return app.test_client()
+
+
+class TestHTTPServer:
+    def test_app_catalogue(self, client):
+        response = client.get("/app")
+        assert response.status_code == 200
+        payload = response.get_json()
+        assert payload["app"] == "dots"
+        assert "dots" in payload["canvases"]
+
+    def test_canvas_info(self, client, dots_stack):
+        response = client.get("/canvas/dots")
+        assert response.status_code == 200
+        assert response.get_json()["width"] == dots_stack.spec.canvas_width
+
+    def test_canvas_info_unknown_canvas_is_400(self, client):
+        response = client.get("/canvas/nope")
+        assert response.status_code == 400
+        assert "error" in response.get_json()
+
+    def test_dbox_endpoint(self, client):
+        response = client.get(
+            "/dbox?canvas=dots&layer=0&xmin=3&ymin=3&xmax=515&ymax=515"
+        )
+        assert response.status_code == 200
+        payload = response.get_json()
+        assert payload["count"] == len(payload["objects"])
+        assert payload["count"] > 0
+        assert payload["queries_issued"] == 1
+
+    def test_tile_endpoint_spatial_and_mapping_agree(self, client):
+        spatial = client.get(
+            "/tile?canvas=dots&layer=0&tile_id=0&tile_size=512&design=spatial"
+        ).get_json()
+        mapping = client.get(
+            "/tile?canvas=dots&layer=0&tile_id=0&tile_size=512&design=mapping"
+        ).get_json()
+        spatial_ids = {o["tuple_id"] for o in spatial["objects"]}
+        mapping_ids = {o["tuple_id"] for o in mapping["objects"]}
+        assert spatial_ids == mapping_ids
+
+    def test_tile_endpoint_bad_design_is_400(self, client):
+        response = client.get(
+            "/tile?canvas=dots&layer=0&tile_id=0&tile_size=512&design=quantum"
+        )
+        assert response.status_code == 400
+
+    def test_stats_endpoint(self, client):
+        client.get("/dbox?canvas=dots&layer=0&xmin=0&ymin=0&xmax=128&ymax=128")
+        payload = client.get("/stats").get_json()
+        assert payload["requests"] >= 1
+        assert "cache_hit_rate" in payload
+
+    def test_repeated_dbox_request_hits_cache(self, client):
+        url = "/dbox?canvas=dots&layer=0&xmin=64&ymin=64&xmax=192&ymax=192"
+        first = client.get(url).get_json()
+        second = client.get(url).get_json()
+        assert first["from_cache"] is False
+        assert second["from_cache"] is True

@@ -1,0 +1,84 @@
+"""Tests for the static-tile arithmetic (Figure 4a)."""
+
+import pytest
+
+from repro.errors import FetchError
+from repro.server.tile import PAPER_TILE_SIZES, TileScheme
+from repro.storage.rtree import Rect
+
+
+class TestTileScheme:
+    def test_paper_tile_sizes(self):
+        assert PAPER_TILE_SIZES == (256, 1024, 4096)
+
+    def test_grid_dimensions_round_up(self):
+        scheme = TileScheme(7000, 5000, 1024)
+        assert scheme.columns == 7
+        assert scheme.rows == 5
+        assert scheme.tile_count == 35
+
+    def test_figure4_grid_is_7_by_5(self):
+        # Figure 4(a) shows a canvas partitioned into 35 tiles (7 x 5).
+        scheme = TileScheme(7 * 1024, 5 * 1024, 1024)
+        assert scheme.tile_count == 35
+
+    def test_tile_id_row_major(self):
+        scheme = TileScheme(4096, 2048, 1024)
+        assert scheme.tile_id(0, 0) == 0
+        assert scheme.tile_id(3, 0) == 3
+        assert scheme.tile_id(0, 1) == 4
+        assert scheme.tile_coords(5) == (1, 1)
+
+    def test_tile_id_out_of_grid_raises(self):
+        scheme = TileScheme(4096, 2048, 1024)
+        with pytest.raises(FetchError):
+            scheme.tile_id(9, 0)
+        with pytest.raises(FetchError):
+            scheme.tile_coords(scheme.tile_count)
+
+    def test_tile_rect_clipped_to_canvas(self):
+        scheme = TileScheme(1500, 1000, 1024)
+        rect = scheme.tile_rect(scheme.tile_id(1, 0))
+        assert rect == Rect(1024, 0, 1500, 1000)
+
+    def test_tile_containing(self):
+        scheme = TileScheme(4096, 4096, 1024)
+        assert scheme.tile_containing(0, 0) == 0
+        assert scheme.tile_containing(1025, 10) == 1
+        assert scheme.tile_containing(4095, 4095) == scheme.tile_count - 1
+
+    def test_tiles_for_aligned_viewport_is_single_tile(self):
+        scheme = TileScheme(8192, 8192, 1024)
+        viewport = Rect(1024, 2048, 2048, 3072)
+        assert scheme.tiles_for_rect(viewport) == [scheme.tile_id(1, 2)]
+
+    def test_tiles_for_misaligned_viewport_is_four_tiles(self):
+        scheme = TileScheme(8192, 8192, 1024)
+        viewport = Rect(1536, 2560, 2560, 3584)
+        assert len(scheme.tiles_for_rect(viewport)) == 4
+
+    def test_tiles_for_rect_spanning_many_tiles(self):
+        scheme = TileScheme(8192, 8192, 256)
+        viewport = Rect(0, 0, 1024, 1024)
+        assert len(scheme.tiles_for_rect(viewport)) == 16
+
+    def test_tiles_for_rect_clamped_to_canvas(self):
+        scheme = TileScheme(2048, 2048, 1024)
+        tiles = scheme.tiles_for_rect(Rect(1500, 1500, 5000, 5000))
+        assert tiles == [scheme.tile_id(1, 1)]
+
+    def test_aligned_predicate(self):
+        scheme = TileScheme(8192, 8192, 1024)
+        assert scheme.aligned(Rect(1024, 0, 2048, 1024))
+        assert not scheme.aligned(Rect(1500, 0, 2524, 1024))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(FetchError):
+            TileScheme(100, 100, 0)
+        with pytest.raises(FetchError):
+            TileScheme(0, 100, 10)
+
+    def test_tiles_cover_whole_canvas_without_overlap(self):
+        scheme = TileScheme(3000, 2000, 1024)
+        total_area = sum(scheme.tile_rect(t).area for t in range(scheme.tile_count))
+        assert total_area == pytest.approx(3000 * 2000)

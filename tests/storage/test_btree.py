@@ -1,0 +1,138 @@
+"""Tests for the B+tree index."""
+
+import random
+
+import pytest
+
+from repro.errors import DuplicateKeyError, StorageError
+from repro.storage.btree import BTreeIndex
+from repro.storage.row import RecordId
+
+
+def rid(n: int) -> RecordId:
+    return RecordId(page_no=n // 100, slot_no=n % 100)
+
+
+@pytest.fixture()
+def index() -> BTreeIndex:
+    return BTreeIndex("idx", order=8)
+
+
+class TestInsertSearch:
+    def test_search_missing_key_returns_empty(self, index):
+        assert index.search(42) == []
+
+    def test_insert_then_search(self, index):
+        index.insert(5, rid(1))
+        assert index.search(5) == [rid(1)]
+
+    def test_duplicate_keys_accumulate(self, index):
+        index.insert(5, rid(1))
+        index.insert(5, rid(2))
+        assert sorted(index.search(5)) == sorted([rid(1), rid(2)])
+
+    def test_unique_index_rejects_duplicates(self):
+        index = BTreeIndex("u", unique=True)
+        index.insert(1, rid(1))
+        with pytest.raises(DuplicateKeyError):
+            index.insert(1, rid(2))
+
+    def test_null_key_rejected(self, index):
+        with pytest.raises(StorageError):
+            index.insert(None, rid(1))
+
+    def test_many_inserts_split_nodes_and_stay_searchable(self, index):
+        keys = list(range(500))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            index.insert(key, rid(key))
+        assert index.height() > 1
+        for key in (0, 17, 250, 499):
+            assert index.search(key) == [rid(key)]
+        index.validate()
+
+    def test_string_keys(self, index):
+        index.insert("alpha", rid(1))
+        index.insert("beta", rid(2))
+        assert index.search("alpha") == [rid(1)]
+
+    def test_search_many(self, index):
+        for key in range(10):
+            index.insert(key, rid(key))
+        assert index.search_many([2, 5, 9]) == [rid(2), rid(5), rid(9)]
+
+
+class TestRangeSearch:
+    def test_full_range_in_key_order(self, index):
+        keys = [7, 3, 9, 1, 5]
+        for key in keys:
+            index.insert(key, rid(key))
+        assert [k for k, _ in index.items()] == sorted(keys)
+
+    def test_bounded_range(self, index):
+        for key in range(20):
+            index.insert(key, rid(key))
+        result = [k for k, _ in index.range_search(5, 10)]
+        assert result == [5, 6, 7, 8, 9, 10]
+
+    def test_exclusive_bounds(self, index):
+        for key in range(10):
+            index.insert(key, rid(key))
+        result = [
+            k for k, _ in index.range_search(2, 6, include_low=False, include_high=False)
+        ]
+        assert result == [3, 4, 5]
+
+    def test_open_ended_ranges(self, index):
+        for key in range(10):
+            index.insert(key, rid(key))
+        assert [k for k, _ in index.range_search(low=7)] == [7, 8, 9]
+        assert [k for k, _ in index.range_search(high=2)] == [0, 1, 2]
+
+    def test_keys_iterator(self, index):
+        for key in (3, 1, 2):
+            index.insert(key, rid(key))
+        assert list(index.keys()) == [1, 2, 3]
+
+
+class TestDelete:
+    def test_delete_existing_entry(self, index):
+        index.insert(1, rid(1))
+        assert index.delete(1, rid(1)) is True
+        assert index.search(1) == []
+        assert len(index) == 0
+
+    def test_delete_missing_key_returns_false(self, index):
+        assert index.delete(1, rid(1)) is False
+
+    def test_delete_one_of_duplicates(self, index):
+        index.insert(1, rid(1))
+        index.insert(1, rid(2))
+        assert index.delete(1, rid(1)) is True
+        assert index.search(1) == [rid(2)]
+
+    def test_delete_wrong_rid_returns_false(self, index):
+        index.insert(1, rid(1))
+        assert index.delete(1, rid(9)) is False
+
+    def test_count_tracks_inserts_and_deletes(self, index):
+        for key in range(50):
+            index.insert(key, rid(key))
+        for key in range(0, 50, 2):
+            index.delete(key, rid(key))
+        assert len(index) == 25
+        index.validate()
+
+
+class TestValidation:
+    def test_order_too_small_rejected(self):
+        with pytest.raises(StorageError):
+            BTreeIndex("bad", order=2)
+
+    def test_validate_detects_corruption(self, index):
+        for key in range(100):
+            index.insert(key, rid(key))
+        # Corrupt the recorded count deliberately.
+        index._count += 1
+        with pytest.raises(StorageError):
+            index.validate()

@@ -1,0 +1,81 @@
+"""Tests for the hash index."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, StorageError
+from repro.storage.hashindex import HashIndex
+from repro.storage.row import RecordId
+
+
+def rid(n: int) -> RecordId:
+    return RecordId(page_no=0, slot_no=n)
+
+
+class TestHashIndex:
+    def test_insert_and_search(self):
+        index = HashIndex("h")
+        index.insert("key", rid(1))
+        assert index.search("key") == [rid(1)]
+
+    def test_missing_key_returns_empty(self):
+        index = HashIndex("h")
+        assert index.search("nope") == []
+
+    def test_duplicates_allowed_by_default(self):
+        index = HashIndex("h")
+        index.insert(1, rid(1))
+        index.insert(1, rid(2))
+        assert len(index) == 2
+        assert set(index.search(1)) == {rid(1), rid(2)}
+
+    def test_unique_rejects_duplicates(self):
+        index = HashIndex("h", unique=True)
+        index.insert(1, rid(1))
+        with pytest.raises(DuplicateKeyError):
+            index.insert(1, rid(2))
+
+    def test_null_key_rejected(self):
+        index = HashIndex("h")
+        with pytest.raises(StorageError):
+            index.insert(None, rid(1))
+
+    def test_delete(self):
+        index = HashIndex("h")
+        index.insert(1, rid(1))
+        assert index.delete(1, rid(1)) is True
+        assert index.search(1) == []
+        assert index.delete(1, rid(1)) is False
+
+    def test_delete_keeps_other_rids(self):
+        index = HashIndex("h")
+        index.insert(1, rid(1))
+        index.insert(1, rid(2))
+        index.delete(1, rid(1))
+        assert index.search(1) == [rid(2)]
+
+    def test_search_many(self):
+        index = HashIndex("h")
+        for key in range(5):
+            index.insert(key, rid(key))
+        assert index.search_many([1, 3]) == [rid(1), rid(3)]
+
+    def test_items_and_keys(self):
+        index = HashIndex("h")
+        index.insert("a", rid(1))
+        index.insert("b", rid(2))
+        assert set(index.keys()) == {"a", "b"}
+        assert set(index.items()) == {("a", rid(1)), ("b", rid(2))}
+
+    def test_validate_detects_count_mismatch(self):
+        index = HashIndex("h")
+        index.insert(1, rid(1))
+        index._count = 5
+        with pytest.raises(StorageError):
+            index.validate()
+
+    def test_lookup_counter_increments(self):
+        index = HashIndex("h")
+        index.insert(1, rid(1))
+        index.search(1)
+        index.search(2)
+        assert index.lookups == 2

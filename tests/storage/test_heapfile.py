@@ -1,0 +1,105 @@
+"""Tests for the slotted-page heap file."""
+
+import pytest
+
+from repro.errors import PageError, RecordNotFoundError
+from repro.storage.heapfile import HeapFile
+from repro.storage.pager import BufferPool, PageStore
+from repro.storage.row import RecordId
+from repro.storage.schema import TableSchema
+
+
+@pytest.fixture()
+def heap() -> HeapFile:
+    pool = BufferPool(PageStore(1024), 64)
+    schema = TableSchema.build("t", [("id", "int"), ("name", "text")])
+    return HeapFile(pool, schema)
+
+
+class TestInsertFetch:
+    def test_insert_returns_rid_and_fetch_roundtrips(self, heap):
+        rid = heap.insert((1, "alpha"))
+        assert heap.fetch(rid) == (1, "alpha")
+
+    def test_len_counts_live_records(self, heap):
+        for i in range(10):
+            heap.insert((i, f"row{i}"))
+        assert len(heap) == 10
+
+    def test_records_span_multiple_pages(self, heap):
+        # Long strings force page overflow with 1 KiB pages.
+        rids = [heap.insert((i, "x" * 200)) for i in range(20)]
+        assert heap.page_count > 1
+        for i, rid in enumerate(rids):
+            assert heap.fetch(rid) == (i, "x" * 200)
+
+    def test_record_larger_than_page_rejected(self, heap):
+        with pytest.raises(PageError):
+            heap.insert((1, "y" * 5000))
+
+    def test_fetch_unknown_page_raises(self, heap):
+        heap.insert((1, "a"))
+        with pytest.raises(RecordNotFoundError):
+            heap.fetch(RecordId(page_no=99, slot_no=0))
+
+    def test_fetch_unknown_slot_raises(self, heap):
+        rid = heap.insert((1, "a"))
+        with pytest.raises(RecordNotFoundError):
+            heap.fetch(RecordId(page_no=rid.page_no, slot_no=50))
+
+
+class TestDeleteUpdate:
+    def test_delete_tombstones_record(self, heap):
+        rid = heap.insert((1, "a"))
+        heap.delete(rid)
+        assert len(heap) == 0
+        with pytest.raises(RecordNotFoundError):
+            heap.fetch(rid)
+
+    def test_double_delete_raises(self, heap):
+        rid = heap.insert((1, "a"))
+        heap.delete(rid)
+        with pytest.raises(RecordNotFoundError):
+            heap.delete(rid)
+
+    def test_update_in_place_when_smaller(self, heap):
+        rid = heap.insert((1, "abcdef"))
+        new_rid = heap.update(rid, (1, "abc"))
+        assert new_rid == rid
+        assert heap.fetch(rid) == (1, "abc")
+
+    def test_update_moves_when_larger(self, heap):
+        rid = heap.insert((1, "a"))
+        new_rid = heap.update(rid, (1, "a" * 100))
+        assert heap.fetch(new_rid) == (1, "a" * 100)
+        assert len(heap) == 1
+
+    def test_update_deleted_record_raises(self, heap):
+        rid = heap.insert((1, "a"))
+        heap.delete(rid)
+        with pytest.raises(RecordNotFoundError):
+            heap.update(rid, (2, "b"))
+
+
+class TestScan:
+    def test_scan_yields_all_live_rows_in_order(self, heap):
+        for i in range(25):
+            heap.insert((i, f"row{i}"))
+        rows = [row for _, row in heap.scan()]
+        assert rows == [(i, f"row{i}") for i in range(25)]
+
+    def test_scan_skips_deleted(self, heap):
+        rids = [heap.insert((i, "x")) for i in range(5)]
+        heap.delete(rids[2])
+        ids = [row[0] for row in heap.scan_rows()]
+        assert ids == [0, 1, 3, 4]
+
+    def test_scan_rids_resolve(self, heap):
+        for i in range(8):
+            heap.insert((i, "v"))
+        for rid, row in heap.scan():
+            assert heap.fetch(rid) == row
+
+    def test_null_values_roundtrip(self, heap):
+        rid = heap.insert((None, None))
+        assert heap.fetch(rid) == (None, None)

@@ -1,0 +1,193 @@
+"""Tests for the R-tree spatial index and Rect geometry."""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.row import RecordId
+from repro.storage.rtree import Rect, RTreeIndex
+
+
+def rid(n: int) -> RecordId:
+    return RecordId(page_no=n // 1000, slot_no=n % 1000)
+
+
+class TestRect:
+    def test_degenerate_rectangle_rejected(self):
+        with pytest.raises(StorageError):
+            Rect(5, 0, 1, 10)
+
+    def test_area_width_height(self):
+        rect = Rect(0, 0, 4, 3)
+        assert rect.width == 4
+        assert rect.height == 3
+        assert rect.area == 12
+        assert rect.center == (2.0, 1.5)
+
+    def test_intersects_includes_touching_edges(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.01, 0, 2, 1))
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(2, 2, 8, 8))
+        assert not outer.contains(Rect(2, 2, 11, 8))
+        assert outer.contains_point(5, 5)
+        assert not outer.contains_point(11, 5)
+
+    def test_union_and_intersection(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        assert a.union(b) == Rect(0, 0, 3, 3)
+        assert a.intersection(b) == Rect(1, 1, 2, 2)
+        assert a.intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_enlargement(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.enlargement(Rect(0, 0, 1, 1)) == 0.0
+        assert a.enlargement(Rect(0, 0, 4, 2)) == pytest.approx(4.0)
+
+    def test_scaled(self):
+        rect = Rect(0, 0, 2, 2).scaled(1.5)
+        assert rect.width == pytest.approx(3.0)
+        assert rect.center == (1.0, 1.0)
+        with pytest.raises(StorageError):
+            Rect(0, 0, 1, 1).scaled(0)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(5, 3) == Rect(5, 3, 6, 4)
+
+    def test_tuple_roundtrip(self):
+        rect = Rect(1, 2, 3, 4)
+        assert Rect.from_tuple(rect.as_tuple()) == rect
+
+    def test_from_point(self):
+        rect = Rect.from_point(5, 5, 0.5)
+        assert rect == Rect(4.5, 4.5, 5.5, 5.5)
+
+
+def _random_entries(count: int, seed: int = 0) -> list[tuple[Rect, RecordId]]:
+    rng = random.Random(seed)
+    entries = []
+    for i in range(count):
+        x = rng.uniform(0, 1000)
+        y = rng.uniform(0, 500)
+        entries.append((Rect(x, y, x + 1, y + 1), rid(i)))
+    return entries
+
+
+def _brute_force(entries, query: Rect) -> set[RecordId]:
+    return {r for rect, r in entries if rect.intersects(query)}
+
+
+class TestRTreeInsert:
+    def test_empty_tree_returns_nothing(self):
+        tree = RTreeIndex("r")
+        assert tree.search(Rect(0, 0, 10, 10)) == []
+
+    def test_insert_and_search_single(self):
+        tree = RTreeIndex("r")
+        tree.insert(Rect(0, 0, 1, 1), rid(1))
+        assert tree.search(Rect(0.5, 0.5, 2, 2)) == [rid(1)]
+        assert tree.search(Rect(5, 5, 6, 6)) == []
+
+    def test_incremental_inserts_match_brute_force(self):
+        entries = _random_entries(400, seed=1)
+        tree = RTreeIndex("r", max_entries=8)
+        for rect, r in entries:
+            tree.insert(rect, r)
+        tree.validate()
+        for query in (Rect(0, 0, 100, 100), Rect(500, 200, 700, 400), Rect(999, 499, 1000, 500)):
+            assert set(tree.search(query)) == _brute_force(entries, query)
+
+    def test_accepts_tuple_bboxes(self):
+        tree = RTreeIndex("r")
+        tree.insert((0, 0, 1, 1), rid(1))
+        assert tree.search((0, 0, 2, 2)) == [rid(1)]
+
+    def test_height_grows_with_size(self):
+        tree = RTreeIndex("r", max_entries=4)
+        for rect, r in _random_entries(200, seed=2):
+            tree.insert(rect, r)
+        assert tree.height() >= 3
+
+
+class TestRTreeBulkLoad:
+    def test_bulk_load_matches_brute_force(self):
+        entries = _random_entries(2000, seed=3)
+        tree = RTreeIndex("r", max_entries=16)
+        tree.bulk_load(entries)
+        tree.validate()
+        assert len(tree) == 2000
+        for query in (Rect(0, 0, 50, 50), Rect(100, 100, 400, 300), Rect(900, 0, 1000, 500)):
+            assert set(tree.search(query)) == _brute_force(entries, query)
+
+    def test_bulk_load_empty(self):
+        tree = RTreeIndex("r")
+        tree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.search(Rect(0, 0, 1, 1)) == []
+
+    def test_bulk_load_replaces_existing_contents(self):
+        tree = RTreeIndex("r")
+        tree.insert(Rect(0, 0, 1, 1), rid(999))
+        tree.bulk_load(_random_entries(10, seed=4))
+        assert len(tree) == 10
+
+    def test_search_entries_returns_bboxes(self):
+        entries = _random_entries(50, seed=5)
+        tree = RTreeIndex("r")
+        tree.bulk_load(entries)
+        results = tree.search_entries(Rect(0, 0, 1000, 500))
+        assert len(results) == 50
+        assert all(isinstance(rect, Rect) for rect, _ in results)
+
+    def test_all_entries(self):
+        entries = _random_entries(64, seed=6)
+        tree = RTreeIndex("r", max_entries=8)
+        tree.bulk_load(entries)
+        assert len(list(tree.all_entries())) == 64
+
+
+class TestRTreeDelete:
+    def test_delete_existing(self):
+        tree = RTreeIndex("r")
+        rect = Rect(0, 0, 1, 1)
+        tree.insert(rect, rid(1))
+        assert tree.delete(rect, rid(1)) is True
+        assert tree.search(Rect(0, 0, 2, 2)) == []
+        assert len(tree) == 0
+
+    def test_delete_missing_returns_false(self):
+        tree = RTreeIndex("r")
+        assert tree.delete(Rect(0, 0, 1, 1), rid(1)) is False
+
+    def test_delete_requires_exact_match(self):
+        tree = RTreeIndex("r")
+        tree.insert(Rect(0, 0, 1, 1), rid(1))
+        assert tree.delete(Rect(0, 0, 1, 2), rid(1)) is False
+        assert tree.delete(Rect(0, 0, 1, 1), rid(2)) is False
+
+    def test_delete_from_bulk_loaded_tree(self):
+        entries = _random_entries(100, seed=7)
+        tree = RTreeIndex("r", max_entries=8)
+        tree.bulk_load(entries)
+        rect, target = entries[42]
+        assert tree.delete(rect, target) is True
+        assert target not in set(tree.search(rect))
+
+
+class TestRTreeConfig:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(StorageError):
+            RTreeIndex("r", max_entries=2)
+        with pytest.raises(StorageError):
+            RTreeIndex("r", min_fill=0.9)
+
+    def test_validate_detects_count_mismatch(self):
+        tree = RTreeIndex("r")
+        tree.insert(Rect(0, 0, 1, 1), rid(1))
+        tree._count = 3
+        with pytest.raises(StorageError):
+            tree.validate()

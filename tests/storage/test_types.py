@@ -1,0 +1,94 @@
+"""Tests for column types, value coercion and the value codec."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.storage.types import ColumnType, coerce_value, decode_value, encode_value
+
+
+class TestColumnTypeParse:
+    def test_parses_canonical_names(self):
+        assert ColumnType.parse("integer") is ColumnType.INTEGER
+        assert ColumnType.parse("float") is ColumnType.FLOAT
+        assert ColumnType.parse("text") is ColumnType.TEXT
+        assert ColumnType.parse("bbox") is ColumnType.BBOX
+
+    def test_parses_aliases(self):
+        assert ColumnType.parse("int") is ColumnType.INTEGER
+        assert ColumnType.parse("BIGINT") is ColumnType.INTEGER
+        assert ColumnType.parse("double") is ColumnType.FLOAT
+        assert ColumnType.parse("varchar") is ColumnType.TEXT
+        assert ColumnType.parse("box") is ColumnType.BBOX
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.parse("jsonb")
+
+
+class TestCoerceValue:
+    def test_none_is_allowed_for_every_type(self):
+        for column_type in ColumnType:
+            assert coerce_value(None, column_type) is None
+
+    def test_integer_accepts_int_only(self):
+        assert coerce_value(7, ColumnType.INTEGER) == 7
+        with pytest.raises(TypeMismatchError):
+            coerce_value(7.5, ColumnType.INTEGER)
+        with pytest.raises(TypeMismatchError):
+            coerce_value("7", ColumnType.INTEGER)
+
+    def test_bool_is_rejected_as_integer(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(True, ColumnType.INTEGER)
+
+    def test_float_widens_int(self):
+        assert coerce_value(3, ColumnType.FLOAT) == 3.0
+        assert isinstance(coerce_value(3, ColumnType.FLOAT), float)
+
+    def test_text_accepts_str_only(self):
+        assert coerce_value("hello", ColumnType.TEXT) == "hello"
+        with pytest.raises(TypeMismatchError):
+            coerce_value(5, ColumnType.TEXT)
+
+    def test_bbox_normalised_to_float_tuple(self):
+        assert coerce_value([1, 2, 3, 4], ColumnType.BBOX) == (1.0, 2.0, 3.0, 4.0)
+
+    def test_bbox_wrong_length_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value((1, 2, 3), ColumnType.BBOX)
+
+    def test_bbox_min_greater_than_max_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value((5, 0, 1, 10), ColumnType.BBOX)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value, column_type",
+        [
+            (42, ColumnType.INTEGER),
+            (-7, ColumnType.INTEGER),
+            (3.25, ColumnType.FLOAT),
+            ("kyrix", ColumnType.TEXT),
+            ("", ColumnType.TEXT),
+            ("naïve ünïcode", ColumnType.TEXT),
+            ((0.0, 1.0, 2.0, 3.0), ColumnType.BBOX),
+            (None, ColumnType.INTEGER),
+            (None, ColumnType.BBOX),
+        ],
+    )
+    def test_roundtrip(self, value, column_type):
+        encoded = encode_value(value, column_type)
+        decoded, offset = decode_value(encoded, 0, column_type)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_consecutive_values_decode_with_offsets(self):
+        buffer = encode_value(5, ColumnType.INTEGER) + encode_value(
+            "x", ColumnType.TEXT
+        )
+        first, offset = decode_value(buffer, 0, ColumnType.INTEGER)
+        second, end = decode_value(buffer, offset, ColumnType.TEXT)
+        assert first == 5
+        assert second == "x"
+        assert end == len(buffer)
