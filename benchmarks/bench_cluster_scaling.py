@@ -1,0 +1,138 @@
+"""Experiment E10: sharded-cluster scaling under concurrent pan workloads.
+
+Measures throughput (pan steps per second) and per-step latency percentiles
+of the scatter-gather cluster at 1/2/4/8 shards, with several concurrent
+sessions replaying the Figure 5 traces over the Uniform and Skewed datasets.
+Reading the table:
+
+* ``throughput_steps_s`` — the only *measured* wall-clock number; it is
+  GIL-bound because shard queries execute sequentially in this process.
+* ``p50_ms`` / ``p95_ms`` — percentiles of the per-step response-time
+  *model* (scatter-gather critical path — slowest shard plus merge — plus
+  simulated link time): the latency a deployment with truly parallel shard
+  workers would observe.  It shrinks with shard count by construction.
+* ``sim_query_ms`` — the query component of the same model, isolating the
+  database-side speedup from the network term.
+
+Run directly::
+
+    python benchmarks/bench_cluster_scaling.py          # smoke scale
+    python benchmarks/bench_cluster_scaling.py --quick  # CI-sized
+
+or through pytest (one scaling assertion per dataset)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cluster_scaling.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[1]
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.bench.experiments import ClusterScalingResult, cluster_scaling  # noqa: E402
+
+
+def _print_table(results: list[ClusterScalingResult]) -> None:
+    rows = [result.row() for result in results]
+    if not rows:
+        print("no results")
+        return
+    headers = list(rows[0].keys())
+    widths = {
+        header: max(len(header), *(len(str(row[header])) for row in rows))
+        for header in headers
+    }
+    line = "  ".join(header.ljust(widths[header]) for header in headers)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(row[header]).ljust(widths[header]) for header in headers))
+
+
+def _print_shard_balance(results: list[ClusterScalingResult]) -> None:
+    print("\nper-shard request balance (dataset @ shards -> requests per shard):")
+    for result in results:
+        if result.shard_count == 1:
+            continue
+        counts = [
+            result.per_shard_requests.get(shard_id, 0)
+            for shard_id in range(result.shard_count)
+        ]
+        print(f"  {result.dataset} @ {result.shard_count}: {counts}")
+
+
+def main(argv: list[str] | None = None) -> list[ClusterScalingResult]:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default="smoke",
+        choices=("tiny", "smoke", "bench"),
+        help="dataset scale (see repro.bench.experiments.dataset_for_scale)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=(1, 2, 4, 8),
+        help="shard counts to measure",
+    )
+    parser.add_argument("--sessions", type=int, default=4, help="concurrent sessions")
+    parser.add_argument(
+        "--strategy", default="grid", choices=("grid", "kd"), help="partitioning strategy"
+    )
+    parser.add_argument(
+        "--datasets", nargs="+", default=("uniform", "skewed"), help="datasets to run"
+    )
+    parser.add_argument(
+        "--no-coalescing", action="store_true", help="disable request coalescing"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: tiny scale, 1/2 shards, 4 sessions, uniform only",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.scale = "tiny"
+        args.shards = (1, 2)
+        # Four sessions over the three Figure 5 traces: every trace runs and
+        # one is shared by two sessions, exercising the coalescer.
+        args.sessions = 4
+        args.datasets = ("uniform",)
+
+    results = cluster_scaling(
+        scale=args.scale,
+        shard_counts=tuple(args.shards),
+        sessions=args.sessions,
+        datasets=tuple(args.datasets),
+        strategy=args.strategy,
+        coalescing=not args.no_coalescing,
+    )
+    _print_table(results)
+    _print_shard_balance(results)
+    return results
+
+
+def test_cluster_scaling_smoke():
+    """pytest entry point: the quick workload runs end-to-end and scales out."""
+    results = main(["--quick"])
+    assert results, "cluster scaling produced no results"
+    for result in results:
+        assert result.steps > 0
+        assert result.throughput_steps_per_s > 0
+        assert result.latency.p95 >= result.latency.median >= 0
+    by_shards = {result.shard_count: result for result in results}
+    # Sharding must not lose or duplicate data: the sessions replayed the
+    # same traces, so they must have received exactly the same object totals.
+    assert by_shards[1].objects_fetched > 0
+    assert by_shards[1].objects_fetched == by_shards[2].objects_fetched
+
+
+if __name__ == "__main__":
+    main()

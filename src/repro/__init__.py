@@ -30,12 +30,14 @@ Quickstart::
 
 from .config import (
     CacheConfig,
+    ClusterConfig,
     INTERACTIVITY_BUDGET_MS,
     KyrixConfig,
     NetworkConfig,
     PrefetchConfig,
     StorageConfig,
 )
+from .cluster import ClusterRouter, ShardedCluster, build_cluster
 from .core import (
     App,
     Application,
@@ -63,6 +65,9 @@ __all__ = [
     "CacheConfig",
     "CallablePlacement",
     "Canvas",
+    "ClusterConfig",
+    "ClusterRouter",
+    "ShardedCluster",
     "ColumnPlacement",
     "CompiledApplication",
     "Database",
@@ -82,6 +87,7 @@ __all__ = [
     "StorageConfig",
     "Transform",
     "Viewport",
+    "build_cluster",
     "compile_application",
     "dbox_scheme",
     "paper_schemes",

@@ -10,6 +10,7 @@ call so the benchmark harness and the quickstart example stay short.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..compiler import CompiledApplication, compile_application
 from ..config import CacheConfig, KyrixConfig, NetworkConfig, PrefetchConfig, StorageConfig
@@ -26,6 +27,9 @@ from ..datagen.synthetic import DotDatasetSpec, load_dots
 from ..server.backend import KyrixBackend
 from ..storage.database import Database
 
+if TYPE_CHECKING:
+    from ..cluster import ClusterRouter, ShardedCluster
+
 
 @dataclass
 class DotsStack:
@@ -36,10 +40,17 @@ class DotsStack:
     application: Application
     compiled: CompiledApplication
     backend: KyrixBackend
+    #: Built when ``config.cluster.enabled`` is true.
+    cluster: "ShardedCluster | None" = None
 
     @property
     def canvas_id(self) -> str:
         return "dots"
+
+    @property
+    def serving(self) -> "KyrixBackend | ClusterRouter":
+        """What frontends should talk to: the cluster router when sharded."""
+        return self.cluster.router if self.cluster is not None else self.backend
 
 
 def default_config(
@@ -138,10 +149,16 @@ def build_dots_backend(
     compiled = compile_application(application)
     backend = KyrixBackend(database, compiled, config)
     backend.precompute(tile_sizes=tile_sizes)
+    cluster = None
+    if config.cluster.enabled:
+        from ..cluster import build_cluster
+
+        cluster = build_cluster(backend, tile_sizes=tile_sizes)
     return DotsStack(
         spec=dataset,
         database=database,
         application=application,
         compiled=compiled,
         backend=backend,
+        cluster=cluster,
     )

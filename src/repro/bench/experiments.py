@@ -8,13 +8,17 @@ EXPERIMENTS.md regeneration script call these.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..cluster import build_cluster
 from ..config import CacheConfig, KyrixConfig, NetworkConfig, PrefetchConfig, StorageConfig
 from ..client.frontend import KyrixFrontend
-from ..client.session import ExplorationSession
+from ..client.session import ExplorationSession, SessionResult
 from ..core.viewport import Viewport
+from ..metrics.collector import SummaryStats, summarize
 from ..datagen.synthetic import DotDatasetSpec, skewed_spec, uniform_spec
 from ..datagen.traces import Trace, paper_traces
 from ..server.dbox import ExactBoxCalculator, ExpandedBoxCalculator
@@ -304,6 +308,205 @@ def prefetch_cache_ablation(
     stack.backend.cache.capacity = (
         base.cache.backend_entries if base.cache.enabled else 0
     )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# E10: cluster scaling (sharded scatter-gather serving)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClusterScalingResult:
+    """One (dataset, shard count) cell of the cluster scaling experiment."""
+
+    dataset: str
+    shard_count: int
+    strategy: str
+    sessions: int
+    steps: int
+    wall_seconds: float
+    #: Pan steps completed per wall-clock second across all sessions — the
+    #: only *measured* (GIL-bound, shards executed sequentially) number here.
+    throughput_steps_per_s: float
+    #: Per-step response-time model (``LatencyBreakdown.total_ms``): the
+    #: scatter-gather critical path plus simulated link time, i.e. what a
+    #: deployment with parallel shard workers would observe — not the
+    #: wall-clock of this process.
+    latency: SummaryStats
+    #: Mean query component of the same model (slowest shard + merge).
+    simulated_query_ms: float
+    #: Total objects delivered to the sessions — identical across shard
+    #: counts when scatter-gather neither drops nor duplicates tuples.
+    objects_fetched: int
+    average_fanout: float
+    coalesced_requests: int
+    router_cache_hits: int
+    duplicates_removed: int
+    per_shard_requests: dict[int, int]
+
+    def row(self) -> dict[str, float | str | int]:
+        return {
+            "dataset": self.dataset,
+            "shards": self.shard_count,
+            "strategy": self.strategy,
+            "sessions": self.sessions,
+            "steps": self.steps,
+            "throughput_steps_s": round(self.throughput_steps_per_s, 1),
+            "p50_ms": round(self.latency.median, 2),
+            "p95_ms": round(self.latency.p95, 2),
+            "max_ms": round(self.latency.maximum, 2),
+            "sim_query_ms": round(self.simulated_query_ms, 2),
+            "objects": self.objects_fetched,
+            "fanout": round(self.average_fanout, 2),
+            "coalesced": self.coalesced_requests,
+            "cache_hits": self.router_cache_hits,
+            "dups_removed": self.duplicates_removed,
+        }
+
+
+def concurrent_pan_workload(
+    router,
+    canvas_id: str,
+    traces: Sequence[Trace],
+    *,
+    sessions: int = 4,
+    scheme: FetchScheme | None = None,
+    config: KyrixConfig | None = None,
+) -> tuple[list[SessionResult], float]:
+    """Replay pan traces from ``sessions`` concurrent threads over one router.
+
+    Traces are assigned round-robin (session ``i`` replays
+    ``traces[i % len(traces)]``), so every trace is exercised; once
+    ``sessions`` exceeds the trace count, several sessions walk the same
+    trace concurrently, issuing the identical requests the router's
+    coalescer and shared cache deduplicate.  All sessions start together
+    behind a barrier; returns their results and the total wall-clock
+    seconds.
+    """
+    if not traces:
+        raise ValueError("concurrent_pan_workload needs at least one trace")
+    scheme = scheme or dbox_scheme()
+    barrier = threading.Barrier(sessions + 1)
+    results: list[SessionResult | None] = [None] * sessions
+    errors: list[BaseException] = []
+    # Sessions are built (and traces resolved) before the threads start:
+    # a worker that failed pre-barrier would leave barrier.wait() below
+    # hanging forever.
+    workloads = [
+        (
+            ExplorationSession.from_backend(router, scheme, config=config),
+            list(traces[index % len(traces)].positions),
+        )
+        for index in range(sessions)
+    ]
+
+    def worker(index: int) -> None:
+        session, positions = workloads[index]
+        try:
+            barrier.wait()
+            results[index] = session.run_trace(canvas_id, positions)
+        except BaseException as error:  # surfaced to the caller below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(sessions)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return [result for result in results if result is not None], wall_seconds
+
+
+def cluster_scaling(
+    *,
+    scale: str = "smoke",
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    sessions: int = 4,
+    datasets: Sequence[str] = ("uniform", "skewed"),
+    strategy: str = "grid",
+    coalescing: bool = True,
+) -> list[ClusterScalingResult]:
+    """Throughput/latency of the sharded cluster at increasing shard counts.
+
+    For each dataset, one source stack is precomputed and then sharded at
+    every requested shard count; ``sessions`` concurrent sessions replay the
+    Figure 5 pan traces through the cluster router with the dynamic-box
+    scheme.  Throughput is wall-clock (and GIL-bound: shard queries execute
+    sequentially in-process).  The latency percentiles summarise the
+    per-step response-time *model* — scatter-gather critical path (slowest
+    shard + merge) plus simulated link time — so they shrink with shard
+    count by construction; ``simulated_query_ms`` isolates the query
+    component of that model.
+    """
+    results: list[ClusterScalingResult] = []
+    for dataset_name in datasets:
+        stack = build_stack(dataset_name, scale=scale, tile_sizes=())
+        traces = list(
+            paper_traces(stack.spec.canvas_width, stack.spec.canvas_height).values()
+        )
+        for shard_count in shard_counts:
+            cluster = build_cluster(
+                stack.backend,
+                shard_count=shard_count,
+                strategy=strategy,
+                coalescing=coalescing,
+            )
+            # Report what actually ran: the KD partitioner falls back to the
+            # grid when a canvas has too little density signal, and that must
+            # not be presented as a KD measurement.
+            effective = "/".join(
+                sorted({p.strategy for p in cluster.partitionings.values()})
+            )
+            strategy_label = (
+                effective if effective == strategy
+                else f"{effective} (requested {strategy})"
+            )
+            session_results, wall_seconds = concurrent_pan_workload(
+                cluster.router,
+                stack.canvas_id,
+                traces,
+                sessions=sessions,
+            )
+            step_times: list[float] = []
+            query_times: list[float] = []
+            steps = 0
+            objects_fetched = 0
+            for outcome in session_results:
+                steps += outcome.steps
+                objects_fetched += outcome.metrics.total_objects()
+                for breakdown in outcome.metrics.steps:
+                    step_times.append(breakdown.total_ms)
+                    query_times.append(breakdown.query_ms)
+            router_stats = cluster.router.stats
+            results.append(
+                ClusterScalingResult(
+                    dataset=dataset_name,
+                    shard_count=shard_count,
+                    strategy=strategy_label,
+                    sessions=sessions,
+                    steps=steps,
+                    wall_seconds=wall_seconds,
+                    throughput_steps_per_s=steps / wall_seconds if wall_seconds else 0.0,
+                    latency=summarize(step_times or [0.0]),
+                    simulated_query_ms=(
+                        sum(query_times) / len(query_times) if query_times else 0.0
+                    ),
+                    objects_fetched=objects_fetched,
+                    average_fanout=router_stats.average_fanout(),
+                    coalesced_requests=router_stats.coalesced_requests,
+                    router_cache_hits=router_stats.cache_hits,
+                    duplicates_removed=router_stats.duplicates_removed,
+                    per_shard_requests=dict(router_stats.per_shard_requests),
+                )
+            )
     return results
 
 

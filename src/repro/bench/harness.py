@@ -88,6 +88,18 @@ class ExperimentResult:
         return sum(r.average_response_ms for r in results) / len(results)
 
 
+def _reset_serving_caches(stack: DotsStack) -> None:
+    """Cold-start every response cache on the stack's serving path."""
+    stack.backend.cache.clear()
+    stack.backend.cache.stats.reset()
+    if stack.cluster is not None:
+        stack.cluster.router.cache.clear()
+        stack.cluster.router.cache.stats.reset()
+        for shard in stack.cluster.shards:
+            shard.backend.cache.clear()
+            shard.backend.cache.stats.reset()
+
+
 def run_scheme_on_trace(
     stack: DotsStack,
     scheme: FetchScheme,
@@ -102,12 +114,13 @@ def run_scheme_on_trace(
     The backend cache persists across schemes only if the caller reuses the
     same stack *and* leaves it warm; the paper's numbers are per-run
     averages over cold frontends, so each call builds a new frontend and
-    clears the backend cache first.
+    clears the serving-side caches first.  When the stack was built with
+    ``config.cluster.enabled``, the frontend talks to the cluster router
+    (``stack.serving``) instead of the single backend.
     """
-    stack.backend.cache.clear()
-    stack.backend.cache.stats.reset()
+    _reset_serving_caches(stack)
     frontend = KyrixFrontend(
-        stack.backend,
+        stack.serving,
         scheme,
         config=config or stack.backend.config,
         prefetcher=prefetcher,

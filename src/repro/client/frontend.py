@@ -16,7 +16,7 @@ headline metric, average response time per interaction.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..compiler.plan import LayerPlan
 from ..config import KyrixConfig
@@ -35,13 +35,22 @@ from ..server.schemes import FetchScheme, dbox_scheme
 from ..server.tile import TileScheme
 from .renderer import RasterRenderer
 
+if TYPE_CHECKING:
+    from ..cluster.router import ClusterRouter
+
 
 class KyrixFrontend:
-    """A headless frontend driving one Kyrix application."""
+    """A headless frontend driving one Kyrix application.
+
+    ``backend`` is anything implementing the backend serving surface —
+    a single :class:`~repro.server.backend.KyrixBackend` or a sharded
+    :class:`~repro.cluster.router.ClusterRouter`; the frontend only uses
+    ``handle()``, ``compiled`` and ``config``.
+    """
 
     def __init__(
         self,
-        backend: KyrixBackend,
+        backend: "KyrixBackend | ClusterRouter",
         scheme: FetchScheme | None = None,
         *,
         config: KyrixConfig | None = None,

@@ -10,11 +10,18 @@ measures response time per pan step, not cold start).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from ..core.viewport import Viewport
 from ..metrics.collector import LatencyBreakdown, MetricsCollector
 from .frontend import KyrixFrontend
+
+if TYPE_CHECKING:
+    from ..cluster.router import ClusterRouter
+    from ..config import KyrixConfig
+    from ..server.backend import KyrixBackend
+    from ..server.prefetch import Prefetcher
+    from ..server.schemes import FetchScheme
 
 
 @dataclass
@@ -41,6 +48,27 @@ class ExplorationSession:
 
     def __init__(self, frontend: KyrixFrontend) -> None:
         self.frontend = frontend
+
+    @classmethod
+    def from_backend(
+        cls,
+        backend: "KyrixBackend | ClusterRouter",
+        scheme: "FetchScheme | None" = None,
+        *,
+        config: "KyrixConfig | None" = None,
+        prefetcher: "Prefetcher | None" = None,
+        render: bool = False,
+    ) -> "ExplorationSession":
+        """Build a session over a fresh frontend for ``backend``.
+
+        ``backend`` may be a single :class:`~repro.server.backend.KyrixBackend`
+        or a sharded :class:`~repro.cluster.router.ClusterRouter` — sessions
+        drive either through the same frontend.
+        """
+        frontend = KyrixFrontend(
+            backend, scheme, config=config, prefetcher=prefetcher, render=render
+        )
+        return cls(frontend)
 
     def run_trace(
         self,

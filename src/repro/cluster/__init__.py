@@ -1,0 +1,71 @@
+"""Sharded multi-backend serving cluster with scatter-gather queries.
+
+The paper's architecture serves every viewport request from one backend over
+one database.  This package scales that architecture out while keeping the
+tile/dbox request semantics byte-for-byte identical: a single-backend stack
+and a cluster return exactly the same tuple sets for the same requests (the
+parity tests in ``tests/cluster/`` assert this on both database designs).
+
+**Partitioning** (:mod:`~repro.cluster.partitioner`).  Each canvas is split
+into ``shard_count`` axis-aligned regions by one of two strategies: ``grid``
+tiles the canvas uniformly, while ``kd`` performs balanced median splits
+driven by the sampled object-density distribution
+(:class:`repro.storage.statistics.SpatialDistribution`) so skewed datasets
+spread evenly across shards.  Regions cover the canvas exactly and share
+edges.
+
+**Sharded precompute** (:mod:`~repro.cluster.sharded`).  After the normal
+single-node precompute, :class:`~repro.cluster.sharded.ShardedIndexer`
+routes every placement (or separable raw) row to each shard whose region its
+bbox intersects — boundary-straddling objects are deliberately *replicated*
+into all overlapping shards — and rebuilds the B-tree/R-tree indexes and
+tuple–tile mapping tables per shard, giving each shard a self-contained
+:class:`~repro.server.backend.KyrixBackend`.
+
+**Scatter-gather serving** (:mod:`~repro.cluster.router`).  A
+:class:`~repro.cluster.router.ClusterRouter` answers requests by fanning a
+tile/box query out to only the shards overlapping its canvas rectangle, then
+merges the shard responses and deduplicates replicated boundary tuples by
+``tuple_id``.  The gathered ``query_ms`` is the critical path (slowest shard
+plus merge time, modelling parallel shard execution) and per-shard timings
+are surfaced in ``DataResponse.shard_ms`` so latency breakdowns stay
+attributable.  Identical in-flight requests from concurrent sessions are
+coalesced behind one scatter-gather
+(:mod:`~repro.cluster.coalescer`), and a shared router LRU cache sits in
+front of everything.
+
+The router exposes the same serving surface as a backend, so
+``KyrixFrontend`` / ``ExplorationSession`` accept either
+(``ExplorationSession.from_backend(cluster.router, ...)``).  Configuration
+lives in ``KyrixConfig.cluster`` (shard count, strategy, coalescing);
+``benchmarks/bench_cluster_scaling.py`` measures throughput and latency
+percentiles at 1/2/4/8 shards under concurrent pan workloads.
+"""
+
+from .builder import ShardedCluster, build_cluster
+from .coalescer import CoalescerStats, RequestCoalescer
+from .partitioner import (
+    BalancedKDPartitioner,
+    GridPartitioner,
+    Partitioning,
+    ShardRegion,
+    make_partitioner,
+)
+from .router import ClusterRouter, ClusterStats
+from .sharded import ShardedIndexer, ShardHandle
+
+__all__ = [
+    "BalancedKDPartitioner",
+    "ClusterRouter",
+    "ClusterStats",
+    "CoalescerStats",
+    "GridPartitioner",
+    "Partitioning",
+    "RequestCoalescer",
+    "ShardHandle",
+    "ShardRegion",
+    "ShardedCluster",
+    "ShardedIndexer",
+    "build_cluster",
+    "make_partitioner",
+]

@@ -1,0 +1,70 @@
+"""One-call assembly of a sharded serving cluster from a single backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..server.backend import KyrixBackend
+from .partitioner import Partitioning
+from .router import ClusterRouter
+from .sharded import ShardedIndexer, ShardHandle
+
+
+@dataclass
+class ShardedCluster:
+    """A built cluster: the router plus everything behind it."""
+
+    router: ClusterRouter
+    shards: list[ShardHandle]
+    partitionings: dict[str, Partitioning]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def describe(self) -> dict[str, Any]:
+        return self.router.describe()
+
+
+def build_cluster(
+    source_backend: KyrixBackend,
+    *,
+    shard_count: int | None = None,
+    strategy: str | None = None,
+    coalescing: bool | None = None,
+    tile_sizes: tuple[int, ...] = (),
+) -> ShardedCluster:
+    """Shard a precomputed backend into a scatter-gather serving cluster.
+
+    ``source_backend`` must have run ``precompute()`` already: its placement
+    (or separable source) tables are what gets split across shards.  The
+    keyword arguments override the corresponding ``config.cluster`` fields
+    for this build only; ``tile_sizes`` pre-builds per-shard tuple–tile
+    mapping tables so the mapping design serves its first tile request
+    without a lazy build.
+    """
+    config = source_backend.config
+    cluster_config = config.cluster
+    if shard_count is not None or strategy is not None:
+        cluster_config = replace(
+            cluster_config,
+            shard_count=shard_count if shard_count is not None else cluster_config.shard_count,
+            strategy=strategy if strategy is not None else cluster_config.strategy,
+        )
+    indexer = ShardedIndexer(
+        source_backend.database,
+        source_backend.compiled,
+        config,
+        cluster_config=cluster_config,
+    )
+    shards, partitionings = indexer.build_shards(tile_sizes=tile_sizes)
+    router = ClusterRouter(
+        shards,
+        partitionings,
+        source_backend.compiled,
+        config,
+        cluster_config=cluster_config,
+        coalescing=coalescing,
+    )
+    return ShardedCluster(router=router, shards=shards, partitionings=partitionings)

@@ -1,0 +1,226 @@
+"""Spatial partitioners: split a canvas into shard regions.
+
+Two strategies are provided, selected by ``ClusterConfig.strategy``:
+
+* :class:`GridPartitioner` (``"grid"``) tiles the canvas with a uniform
+  ``columns x rows`` grid chosen to keep shard regions as square as the
+  canvas aspect ratio allows.  Cheap and oblivious to the data.
+* :class:`BalancedKDPartitioner` (``"kd"``) recursively splits the region
+  currently holding the most objects at the median of the object centres
+  along its longer axis, using a
+  :class:`~repro.storage.statistics.SpatialDistribution` sampled from the
+  canvas's placement tables.  On skewed datasets this equalises per-shard
+  load where the grid would leave most shards idle.
+
+Both produce a :class:`Partitioning`: an exact, gap-free cover of the canvas
+by axis-aligned :class:`ShardRegion` rectangles.  Region edges are shared, so
+an object whose bbox touches a boundary is *replicated* into every shard it
+overlaps; the router deduplicates at gather time (see
+:mod:`repro.cluster.router`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+
+from ..errors import KyrixError
+from ..storage.rtree import Rect
+from ..storage.statistics import SpatialDistribution
+
+#: Registry of strategy names (mirrors ``ClusterConfig.strategy``).
+STRATEGY_GRID = "grid"
+STRATEGY_KD = "kd"
+
+
+@dataclass(frozen=True)
+class ShardRegion:
+    """One shard's slice of a canvas."""
+
+    shard_id: int
+    rect: Rect
+
+    def describe(self) -> dict[str, object]:
+        return {"shard_id": self.shard_id, "rect": self.rect.as_tuple()}
+
+
+@dataclass
+class Partitioning:
+    """A complete partitioning of one canvas into shard regions."""
+
+    canvas_id: str
+    strategy: str
+    regions: list[ShardRegion] = field(default_factory=list)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.regions)
+
+    def shards_for_rect(self, rect: Rect) -> list[int]:
+        """Ids of every shard whose region intersects ``rect`` (scatter set)."""
+        return [
+            region.shard_id
+            for region in self.regions
+            if region.rect.intersects(rect)
+        ]
+
+    def shard_for_point(self, x: float, y: float) -> int:
+        """The shard owning canvas point ``(x, y)``.
+
+        Boundary points belong to every adjacent region; the lowest shard id
+        wins so the assignment stays deterministic.
+        """
+        for region in self.regions:
+            if region.rect.contains_point(x, y):
+                return region.shard_id
+        raise KyrixError(
+            f"point ({x}, {y}) outside every shard region of canvas "
+            f"{self.canvas_id!r}"
+        )
+
+    def region(self, shard_id: int) -> ShardRegion:
+        for candidate in self.regions:
+            if candidate.shard_id == shard_id:
+                return candidate
+        raise KyrixError(f"no shard {shard_id} in canvas {self.canvas_id!r}")
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "canvas_id": self.canvas_id,
+            "strategy": self.strategy,
+            "regions": [region.describe() for region in self.regions],
+        }
+
+
+class GridPartitioner:
+    """Uniform grid partitioning of a canvas."""
+
+    strategy = STRATEGY_GRID
+
+    def __init__(self, shard_count: int) -> None:
+        if shard_count < 1:
+            raise KyrixError(f"shard_count must be >= 1, got {shard_count}")
+        self.shard_count = shard_count
+
+    def partition(
+        self,
+        canvas_id: str,
+        width: float,
+        height: float,
+        distribution: SpatialDistribution | None = None,
+    ) -> Partitioning:
+        columns, rows = self._grid_shape(width, height)
+        cell_w = width / columns
+        cell_h = height / rows
+        regions: list[ShardRegion] = []
+        for row in range(rows):
+            for column in range(columns):
+                shard_id = row * columns + column
+                regions.append(
+                    ShardRegion(
+                        shard_id=shard_id,
+                        rect=Rect(
+                            column * cell_w,
+                            row * cell_h,
+                            width if column == columns - 1 else (column + 1) * cell_w,
+                            height if row == rows - 1 else (row + 1) * cell_h,
+                        ),
+                    )
+                )
+        return Partitioning(canvas_id=canvas_id, strategy=self.strategy, regions=regions)
+
+    def _grid_shape(self, width: float, height: float) -> tuple[int, int]:
+        """The ``columns x rows`` factorisation closest to the canvas aspect."""
+        best: tuple[float, int, int] | None = None
+        for columns in range(1, self.shard_count + 1):
+            if self.shard_count % columns:
+                continue
+            rows = self.shard_count // columns
+            # Penalise elongation symmetrically: a 1:2 cell is as bad as 2:1.
+            cell_aspect = (width / columns) / (height / rows)
+            score = max(cell_aspect, 1.0 / cell_aspect)
+            # <= so ties (e.g. a square canvas split in two) prefer columns.
+            if best is None or score <= best[0]:
+                best = (score, columns, rows)
+        assert best is not None
+        _, columns, rows = best
+        return columns, rows
+
+
+class BalancedKDPartitioner:
+    """Median-split KD partitioning driven by the object distribution."""
+
+    strategy = STRATEGY_KD
+
+    def __init__(self, shard_count: int) -> None:
+        if shard_count < 1:
+            raise KyrixError(f"shard_count must be >= 1, got {shard_count}")
+        self.shard_count = shard_count
+
+    def partition(
+        self,
+        canvas_id: str,
+        width: float,
+        height: float,
+        distribution: SpatialDistribution | None = None,
+    ) -> Partitioning:
+        if distribution is None or len(distribution) < 2 * self.shard_count:
+            # Not enough signal for data-driven splits — fall back to the grid
+            # so the cover stays exact and balanced by area.
+            return GridPartitioner(self.shard_count).partition(canvas_id, width, height)
+
+        # Each work item is (region, points inside it); repeatedly split the
+        # most heavily loaded region at the median of its points.
+        items: list[tuple[Rect, list[tuple[float, float]]]] = [
+            (Rect(0.0, 0.0, width, height), list(distribution.points))
+        ]
+        while len(items) < self.shard_count:
+            items.sort(key=lambda item: len(item[1]), reverse=True)
+            rect, points = items.pop(0)
+            axis = 0 if rect.width >= rect.height else 1
+            split = self._split_coordinate(rect, points, axis)
+            if axis == 0:
+                left = Rect(rect.xmin, rect.ymin, split, rect.ymax)
+                right = Rect(split, rect.ymin, rect.xmax, rect.ymax)
+            else:
+                left = Rect(rect.xmin, rect.ymin, rect.xmax, split)
+                right = Rect(rect.xmin, split, rect.xmax, rect.ymax)
+            items.append((left, [p for p in points if p[axis] <= split]))
+            items.append((right, [p for p in points if p[axis] > split]))
+
+        # Deterministic shard ids: order regions by position.
+        items.sort(key=lambda item: (item[0].ymin, item[0].xmin))
+        regions = [
+            ShardRegion(shard_id=index, rect=rect)
+            for index, (rect, _) in enumerate(items)
+        ]
+        return Partitioning(canvas_id=canvas_id, strategy=self.strategy, regions=regions)
+
+    def _split_coordinate(
+        self,
+        rect: Rect,
+        points: list[tuple[float, float]],
+        axis: int,
+    ) -> float:
+        low = rect.xmin if axis == 0 else rect.ymin
+        high = rect.xmax if axis == 0 else rect.ymax
+        if points:
+            split = float(median(p[axis] for p in points))
+        else:
+            split = (low + high) / 2.0
+        # A median equal to a region edge would create a degenerate slab;
+        # nudge to the midpoint instead.
+        if not (low < split < high):
+            split = (low + high) / 2.0
+        return split
+
+
+def make_partitioner(
+    strategy: str, shard_count: int
+) -> GridPartitioner | BalancedKDPartitioner:
+    """Build the partitioner named by ``ClusterConfig.strategy``."""
+    if strategy == STRATEGY_GRID:
+        return GridPartitioner(shard_count)
+    if strategy == STRATEGY_KD:
+        return BalancedKDPartitioner(shard_count)
+    raise KyrixError(f"unknown partitioning strategy {strategy!r}")

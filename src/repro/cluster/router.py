@@ -1,0 +1,297 @@
+"""The cluster router: scatter-gather over shard backends.
+
+A :class:`ClusterRouter` exposes the same serving surface as
+:class:`~repro.server.backend.KyrixBackend` (``handle`` / ``warm`` /
+``canvas_info`` / ``layer_density`` plus ``compiled``, ``config`` and
+``cache``), so frontends and sessions can be pointed at a cluster without
+changes.  For each :class:`~repro.net.protocol.DataRequest` it:
+
+1. consults the shared router cache (keyed by the unsharded cache key),
+2. coalesces identical in-flight requests from concurrent sessions behind
+   one scatter-gather (see :mod:`repro.cluster.coalescer`),
+3. computes the request's canvas rectangle and *scatters* the request only
+   to the shards whose regions intersect it (``shard_id``-stamped copies, so
+   per-shard backend caches stay disjoint), and
+4. *gathers* the shard responses, merging objects and deduplicating
+   boundary-straddling tuples that were replicated into several shards.
+
+``DataResponse.query_ms`` of a gathered response is the critical path — the
+slowest shard plus the router's merge time, modelling shards that execute in
+parallel — while ``DataResponse.shard_ms`` keeps the per-shard timings so
+latency breakdowns stay attributable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..compiler.plan import CompiledApplication
+from ..config import ClusterConfig, KyrixConfig
+from ..errors import FetchError
+from ..metrics.timer import Timer
+from ..net.protocol import DataRequest, DataResponse
+from ..server.cache import LRUCache
+from ..server.tile import TileScheme
+from ..storage.rtree import Rect
+from .coalescer import RequestCoalescer
+from .partitioner import Partitioning
+from .sharded import ShardHandle
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate counters over the router's lifetime."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    coalesced_requests: int = 0
+    scatter_gathers: int = 0
+    shard_queries: int = 0
+    duplicates_removed: int = 0
+    objects_returned: int = 0
+    per_shard_requests: dict[int, int] = field(default_factory=dict)
+    #: How many scatter-gathers touched exactly N shards (fan-out histogram).
+    fanout: dict[int, int] = field(default_factory=dict)
+
+    def record_scatter(self, shard_ids: list[int]) -> None:
+        self.scatter_gathers += 1
+        self.shard_queries += len(shard_ids)
+        self.fanout[len(shard_ids)] = self.fanout.get(len(shard_ids), 0) + 1
+        for shard_id in shard_ids:
+            self.per_shard_requests[shard_id] = (
+                self.per_shard_requests.get(shard_id, 0) + 1
+            )
+
+    def average_fanout(self) -> float:
+        return self.shard_queries / self.scatter_gathers if self.scatter_gathers else 0.0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.cache_hits = 0
+        self.coalesced_requests = 0
+        self.scatter_gathers = 0
+        self.shard_queries = 0
+        self.duplicates_removed = 0
+        self.objects_returned = 0
+        self.per_shard_requests.clear()
+        self.fanout.clear()
+
+
+class ClusterRouter:
+    """Routes data requests across a set of shard backends."""
+
+    def __init__(
+        self,
+        shards: list[ShardHandle],
+        partitionings: dict[str, Partitioning],
+        compiled: CompiledApplication,
+        config: KyrixConfig | None = None,
+        *,
+        cluster_config: ClusterConfig | None = None,
+        coalescing: bool | None = None,
+    ) -> None:
+        if not shards:
+            raise FetchError("a cluster needs at least one shard")
+        self.shards = shards
+        self.partitionings = partitionings
+        self.compiled = compiled
+        self.config = config or (compiled.spec.config if compiled.spec else KyrixConfig())
+        # The effective cluster config may carry per-build overrides; the
+        # indexer and router must read the same one.
+        cluster_config = cluster_config or self.config.cluster
+        if coalescing is None:
+            coalescing = cluster_config.coalescing
+        cache_entries = (
+            cluster_config.router_cache_entries if self.config.cache.enabled else 0
+        )
+        self.cache: LRUCache[DataResponse] = LRUCache(cache_entries)
+        self.coalescer: RequestCoalescer | None = (
+            RequestCoalescer() if coalescing else None
+        )
+        self.stats = ClusterStats()
+        self._cache_lock = threading.Lock()
+        # Counter updates are read-modify-write; concurrent sessions are the
+        # router's normal traffic, so they must not lose increments.
+        self._stats_lock = threading.Lock()
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    # -- request handling --------------------------------------------------------------
+
+    def handle(self, request: DataRequest) -> DataResponse:
+        """Answer one data request via cache, coalescing or scatter-gather."""
+        with self._stats_lock:
+            self.stats.requests += 1
+        self._resolve_layer(request)
+        key = request.cache_key()
+        with self._cache_lock:
+            cached = self.cache.get(key)
+        if cached is not None:
+            with self._stats_lock:
+                self.stats.cache_hits += 1
+            return DataResponse(
+                request=request,
+                objects=cached.objects,
+                query_ms=0.0,
+                from_cache=True,
+                queries_issued=0,
+                shard_ms=dict(cached.shard_ms),
+            )
+
+        if self.coalescer is None:
+            return self._scatter_gather(request)
+        response, follower = self.coalescer.coalesce(
+            key, lambda: self._scatter_gather(request)
+        )
+        if not follower:
+            return response
+        with self._stats_lock:
+            self.stats.coalesced_requests += 1
+        return DataResponse(
+            request=request,
+            objects=response.objects,
+            query_ms=response.query_ms,
+            from_cache=False,
+            queries_issued=0,
+            shard_ms=dict(response.shard_ms),
+            coalesced=True,
+        )
+
+    def warm(self, request: DataRequest) -> None:
+        """Execute a request purely to populate the router cache (prefetch)."""
+        with self._cache_lock:
+            cached = self.cache.peek(request.cache_key())
+        if cached is None:
+            self.handle(request)
+
+    # -- scatter-gather ----------------------------------------------------------------
+
+    def _scatter_gather(self, request: DataRequest) -> DataResponse:
+        rect = self.request_rect(request)
+        partitioning = self.partitionings[request.canvas_id]
+        shard_ids = partitioning.shards_for_rect(rect)
+        with self._stats_lock:
+            self.stats.record_scatter(shard_ids)
+
+        merged: dict[Any, dict[str, Any]] = {}
+        shard_ms: dict[str, float] = {}
+        slowest_ms = 0.0
+        merge_ms = 0.0
+        queries = 0
+        received = 0
+        single_shard_objects: list[dict[str, Any]] | None = None
+        for shard_id in shard_ids:
+            shard = self.shards[shard_id]
+            shard_response = shard.handle(request.for_shard(shard_id))
+            shard_ms[f"shard{shard_id}"] = shard_response.query_ms
+            slowest_ms = max(slowest_ms, shard_response.query_ms)
+            queries += shard_response.queries_issued
+            received += len(shard_response.objects)
+            if len(shard_ids) == 1:
+                # Common case (fan-out 1): no replica can appear twice, so
+                # skip the dedup merge entirely.
+                single_shard_objects = shard_response.objects
+                break
+            timer = Timer()
+            timer.start()
+            for obj in shard_response.objects:
+                merged.setdefault(self._identity(obj), obj)
+            merge_ms += timer.stop()
+
+        objects = (
+            single_shard_objects
+            if single_shard_objects is not None
+            else list(merged.values())
+        )
+        response = DataResponse(
+            request=request,
+            objects=objects,
+            # Shards execute in parallel: the gathered query time is the
+            # slowest shard (critical path) plus the merge overhead.
+            query_ms=slowest_ms + merge_ms,
+            from_cache=False,
+            queries_issued=queries,
+            shard_ms=shard_ms,
+        )
+        with self._stats_lock:
+            self.stats.duplicates_removed += received - len(objects)
+            self.stats.objects_returned += len(objects)
+        with self._cache_lock:
+            self.cache.put(request.cache_key(), response)
+        return response
+
+    def request_rect(self, request: DataRequest) -> Rect:
+        """The canvas rectangle a request covers (scatter footprint)."""
+        canvas_plan = self.compiled.canvas_plan(request.canvas_id)
+        if request.granularity == "tile":
+            if request.tile_id is None or not request.tile_size:
+                raise FetchError("tile requests need tile_id and tile_size")
+            scheme = TileScheme(
+                canvas_plan.width, canvas_plan.height, request.tile_size
+            )
+            return scheme.tile_rect(request.tile_id)
+        if request.granularity == "box":
+            if None in (request.xmin, request.ymin, request.xmax, request.ymax):
+                raise FetchError("box requests need xmin/ymin/xmax/ymax")
+            return Rect(request.xmin, request.ymin, request.xmax, request.ymax)
+        raise FetchError(f"unknown granularity {request.granularity!r}")
+
+    @staticmethod
+    def _identity(obj: dict[str, Any]) -> Any:
+        """Dedup key for a gathered object: ``tuple_id`` when present."""
+        tuple_id = obj.get("tuple_id")
+        if tuple_id is not None:
+            return tuple_id
+        return tuple(
+            (name, tuple(value) if isinstance(value, list) else value)
+            for name, value in sorted(obj.items())
+        )
+
+    # -- metadata for the frontend -----------------------------------------------------
+
+    def canvas_info(self, canvas_id: str) -> dict[str, Any]:
+        """Canvas summary plus the shard regions serving it."""
+        info = self.shards[0].backend.canvas_info(canvas_id)
+        info["shards"] = self.partitionings[canvas_id].describe()["regions"]
+        return info
+
+    def layer_density(self, canvas_id: str, layer_index: int) -> float:
+        """Average objects per canvas pixel² for one layer.
+
+        Summed over shards, so boundary replicas are counted once per shard
+        that stores them — a slight overestimate on heavily straddled data.
+        """
+        return sum(
+            shard.backend.layer_density(canvas_id, layer_index)
+            for shard in self.shards
+        )
+
+    def cache_stats(self) -> dict[str, float]:
+        """Hit/miss counters of the shared router cache."""
+        return self.cache.stats.snapshot()
+
+    def describe(self) -> dict[str, Any]:
+        """Cluster topology: shard row counts and per-canvas regions."""
+        return {
+            "shard_count": self.shard_count,
+            "shards": [
+                {
+                    "shard_id": shard.shard_id,
+                    "rows_by_table": dict(shard.rows_by_table),
+                }
+                for shard in self.shards
+            ],
+            "partitionings": {
+                canvas_id: partitioning.describe()
+                for canvas_id, partitioning in self.partitionings.items()
+            },
+        }
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _resolve_layer(self, request: DataRequest) -> None:
+        self.compiled.require_layer_plan(request.canvas_id, request.layer_index)

@@ -16,6 +16,7 @@ from ..core.application import Application
 from ..core.canvas import Canvas
 from ..core.layer import Layer
 from ..core.transform import Transform
+from ..errors import UnknownCanvasError, UnknownLayerError
 
 
 @dataclass
@@ -96,6 +97,21 @@ class CompiledApplication:
 
     def layer_plan(self, canvas_id: str, layer_index: int) -> LayerPlan:
         return self.canvases[canvas_id].layers[layer_index]
+
+    def require_layer_plan(self, canvas_id: str, layer_index: int) -> LayerPlan:
+        """Like :meth:`layer_plan` but with serving-grade validation.
+
+        The backend and the cluster router share this so a bad request
+        raises the same error regardless of deployment shape.
+        """
+        if canvas_id not in self.canvases:
+            raise UnknownCanvasError(f"no canvas {canvas_id!r}")
+        canvas_plan = self.canvases[canvas_id]
+        if layer_index < 0 or layer_index >= len(canvas_plan.layers):
+            raise UnknownLayerError(
+                f"canvas {canvas_id!r} has no layer {layer_index}"
+            )
+        return canvas_plan.layers[layer_index]
 
     def all_layer_plans(self) -> list[LayerPlan]:
         plans: list[LayerPlan] = []

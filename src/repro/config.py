@@ -113,6 +113,51 @@ class PrefetchConfig:
 
 
 @dataclass
+class ClusterConfig:
+    """Configuration of the sharded serving cluster (:mod:`repro.cluster`).
+
+    Attributes
+    ----------
+    enabled:
+        When true, :func:`repro.bench.apps.build_dots_backend` (and the
+        stack builders layered on it) additionally shard the precomputed
+        backend and expose a :class:`~repro.cluster.router.ClusterRouter`
+        as the stack's ``serving`` endpoint.
+    shard_count:
+        Number of shard backends each canvas is partitioned across.
+    strategy:
+        Spatial partitioning strategy: ``"grid"`` (uniform grid of shard
+        regions) or ``"kd"`` (balanced KD splits driven by the observed
+        object-density statistics).
+    coalescing:
+        When true, identical in-flight requests from concurrent sessions are
+        coalesced behind one backend scatter-gather.
+    router_cache_entries:
+        Size of the router's shared response cache (0 disables it).
+    kd_sample_limit:
+        Maximum number of object centres sampled per canvas when the KD
+        strategy measures the spatial distribution.
+    """
+
+    enabled: bool = False
+    shard_count: int = 4
+    strategy: str = "grid"
+    coalescing: bool = True
+    router_cache_entries: int = 256
+    kd_sample_limit: int = 50_000
+
+    def validate(self) -> None:
+        if self.shard_count < 1:
+            raise KyrixError(f"shard_count must be >= 1, got {self.shard_count}")
+        if self.strategy not in ("grid", "kd"):
+            raise KyrixError(f"unknown partitioning strategy: {self.strategy!r}")
+        if self.router_cache_entries < 0:
+            raise KyrixError("router_cache_entries must be non-negative")
+        if self.kd_sample_limit < 1:
+            raise KyrixError("kd_sample_limit must be >= 1")
+
+
+@dataclass
 class KyrixConfig:
     """Top-level configuration for a Kyrix application.
 
@@ -125,6 +170,7 @@ class KyrixConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
     interactivity_budget_ms: float = INTERACTIVITY_BUDGET_MS
     viewport_width: int = 1000
     viewport_height: int = 1000
@@ -142,6 +188,7 @@ class KyrixConfig:
         self.network.validate()
         self.cache.validate()
         self.prefetch.validate()
+        self.cluster.validate()
 
     # -- serialisation ------------------------------------------------------
 
@@ -157,8 +204,14 @@ class KyrixConfig:
         network = NetworkConfig(**known.pop("network", {}))
         cache = CacheConfig(**known.pop("cache", {}))
         prefetch = PrefetchConfig(**known.pop("prefetch", {}))
+        cluster = ClusterConfig(**known.pop("cluster", {}))
         config = cls(
-            storage=storage, network=network, cache=cache, prefetch=prefetch, **known
+            storage=storage,
+            network=network,
+            cache=cache,
+            prefetch=prefetch,
+            cluster=cluster,
+            **known,
         )
         config.validate()
         return config

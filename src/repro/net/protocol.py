@@ -8,7 +8,7 @@ what the simulated link charges transfer time for.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
 
@@ -34,18 +34,27 @@ class DataRequest:
     ymin: float | None = None
     xmax: float | None = None
     ymax: float | None = None
+    #: When routed through a sharded cluster, the shard this copy of the
+    #: request targets.  ``None`` for direct (single-backend) requests and
+    #: for the router-level identity of a scatter-gather request, so shard
+    #: caches and the shared router cache never alias each other.
+    shard_id: int | None = None
 
     def cache_key(self) -> tuple[Any, ...]:
-        """A hashable identity used by the frontend and backend caches."""
+        """A hashable identity used by the frontend, backend and router caches."""
         if self.granularity == "tile":
             return (
                 self.app_name, self.canvas_id, self.layer_index,
-                "tile", self.design, self.tile_size, self.tile_id,
+                "tile", self.design, self.tile_size, self.tile_id, self.shard_id,
             )
         return (
             self.app_name, self.canvas_id, self.layer_index,
-            "box", self.xmin, self.ymin, self.xmax, self.ymax,
+            "box", self.xmin, self.ymin, self.xmax, self.ymax, self.shard_id,
         )
+
+    def for_shard(self, shard_id: int) -> "DataRequest":
+        """The same request addressed to one shard (shard-aware cache key)."""
+        return replace(self, shard_id=shard_id)
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
@@ -65,12 +74,21 @@ class DataResponse:
 
     request: DataRequest
     objects: list[dict[str, Any]] = field(default_factory=list)
-    #: Milliseconds the backend spent running database queries.
+    #: Milliseconds the backend spent running database queries.  For
+    #: scatter-gather responses this is the *critical path*: the slowest
+    #: shard plus the router's merge time (shards run in parallel).
     query_ms: float = 0.0
     #: Whether the response was served from the backend cache.
     from_cache: bool = False
     #: Number of distinct DBMS queries issued to produce this response.
     queries_issued: int = 0
+    #: Per-shard query milliseconds (``{"shard0": 1.2, ...}``) when the
+    #: response was produced by a cluster scatter-gather; empty otherwise.
+    #: Keeps latency breakdowns attributable per shard.
+    shard_ms: dict[str, float] = field(default_factory=dict)
+    #: Whether this response was shared from a coalesced in-flight request
+    #: issued by another concurrent session.
+    coalesced: bool = False
 
     def object_count(self) -> int:
         return len(self.objects)
@@ -83,6 +101,8 @@ class DataResponse:
                 "query_ms": self.query_ms,
                 "from_cache": self.from_cache,
                 "queries_issued": self.queries_issued,
+                "shard_ms": self.shard_ms,
+                "coalesced": self.coalesced,
             },
             sort_keys=True,
             default=str,
@@ -97,6 +117,8 @@ class DataResponse:
             query_ms=data["query_ms"],
             from_cache=data["from_cache"],
             queries_issued=data.get("queries_issued", 0),
+            shard_ms=data.get("shard_ms", {}),
+            coalesced=data.get("coalesced", False),
         )
 
     def payload_size(self, per_object_bytes: int | None = None) -> int:

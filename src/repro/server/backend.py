@@ -23,7 +23,7 @@ from typing import Any
 
 from ..compiler.plan import CompiledApplication, LayerPlan
 from ..config import KyrixConfig
-from ..errors import FetchError, UnknownCanvasError, UnknownLayerError
+from ..errors import FetchError, UnknownCanvasError
 from ..metrics.timer import Timer
 from ..minisql.executor import SQLEngine
 from ..net.protocol import DataRequest, DataResponse
@@ -241,11 +241,4 @@ class KyrixBackend:
         return self._layer_plan(request.canvas_id, request.layer_index)
 
     def _layer_plan(self, canvas_id: str, layer_index: int) -> LayerPlan:
-        if canvas_id not in self.compiled.canvases:
-            raise UnknownCanvasError(f"no canvas {canvas_id!r}")
-        canvas_plan = self.compiled.canvas_plan(canvas_id)
-        if layer_index < 0 or layer_index >= len(canvas_plan.layers):
-            raise UnknownLayerError(
-                f"canvas {canvas_id!r} has no layer {layer_index}"
-            )
-        return canvas_plan.layers[layer_index]
+        return self.compiled.require_layer_plan(canvas_id, layer_index)

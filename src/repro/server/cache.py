@@ -29,6 +29,16 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def snapshot(self) -> dict[str, float]:
+        """A flat dictionary of the counters (for reports and cluster stats)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+            "hit_rate": self.hit_rate(),
+        }
+
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
@@ -46,9 +56,26 @@ class LRUCache(Generic[ValueT]):
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise ValueError(f"cache capacity must be non-negative, got {capacity}")
-        self.capacity = capacity
+        self._capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[Hashable, ValueT] = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, capacity: int) -> None:
+        """Resize the cache, evicting LRU entries that no longer fit.
+
+        The benchmark ablations resize live caches (including down to 0);
+        without eviction here a shrunk cache would keep serving entries
+        beyond its capacity forever.
+        """
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        self._evict_to_capacity()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -70,8 +97,8 @@ class LRUCache(Generic[ValueT]):
         return self._entries.get(key)
 
     def put(self, key: Hashable, value: ValueT) -> None:
-        """Insert or refresh an entry, evicting the LRU entry if full."""
-        if self.capacity == 0:
+        """Insert or refresh an entry, evicting LRU entries if full."""
+        if self._capacity == 0:
             return
         if key in self._entries:
             self._entries.move_to_end(key)
@@ -79,7 +106,10 @@ class LRUCache(Generic[ValueT]):
             return
         self._entries[key] = value
         self.stats.inserts += 1
-        if len(self._entries) > self.capacity:
+        self._evict_to_capacity()
+
+    def _evict_to_capacity(self) -> None:
+        while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 

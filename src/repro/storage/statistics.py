@@ -80,3 +80,62 @@ def compute_stats(schema: TableSchema, rows: list[tuple[Any, ...]]) -> TableStat
     for row in rows:
         stats.observe_row(schema, row)
     return stats
+
+
+@dataclass
+class SpatialDistribution:
+    """A sampled distribution of object centres on one canvas.
+
+    The cluster partitioner's balanced-KD strategy consumes this: it needs
+    where the mass of a canvas's objects actually sits, not just row counts,
+    to place shard boundaries so each shard serves a similar load.  Samples
+    from several tables (the layers of one canvas) can be merged with
+    :meth:`extend`.
+    """
+
+    points: list[tuple[float, float]] = field(default_factory=list)
+    #: How many rows were scanned to produce the sample (>= len(points)).
+    observed_rows: int = 0
+
+    def observe(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def extend(self, other: "SpatialDistribution") -> None:
+        self.points.extend(other.points)
+        self.observed_rows += other.observed_rows
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def sample_spatial_distribution(
+    rows: "Any",
+    bbox_position: int,
+    *,
+    sample_limit: int = 50_000,
+    row_count_hint: int | None = None,
+) -> SpatialDistribution:
+    """Sample bbox centres from an iterable of positional rows.
+
+    ``rows`` yields storage tuples with a bbox at ``bbox_position``; at most
+    ``sample_limit`` centres are kept, taken at a uniform stride when
+    ``row_count_hint`` says the table is larger than the limit.
+    """
+    stride = 1
+    if row_count_hint and row_count_hint > sample_limit:
+        # Ceiling division: a floor stride of 1 would sample a prefix of the
+        # table instead of spanning it, biasing the KD splits.
+        stride = -(-row_count_hint // sample_limit)
+    distribution = SpatialDistribution()
+    for index, row in enumerate(rows):
+        distribution.observed_rows += 1
+        if index % stride:
+            continue
+        bbox = row[bbox_position]
+        if bbox is None:
+            continue
+        xmin, ymin, xmax, ymax = bbox
+        distribution.observe((xmin + xmax) / 2.0, (ymin + ymax) / 2.0)
+        if len(distribution) >= sample_limit:
+            break
+    return distribution

@@ -1,0 +1,165 @@
+"""Fixtures for the cluster tests: small usmap and EEG serving stacks.
+
+The parity tests need real applications whose layers go through full
+placement precomputation (so both database designs are exercised) on both
+evaluation datasets.  The stacks here are shrunk versions of the example
+applications: small canvases, few thousand rows, one dynamic layer per
+canvas — large enough that shard regions hold distinct data, small enough
+to build in well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.bench.apps import default_config
+from repro.compiler import compile_application
+from repro.core import App, Canvas, ColumnPlacement, Jump, Layer, Transform, dot_renderer
+from repro.datagen.eeg import EEGSpec, load_eeg
+from repro.datagen.usmap import USMapSpec, load_usmap
+from repro.server.backend import KyrixBackend
+from repro.storage.database import Database
+
+
+@dataclass
+class ParityStack:
+    """A precomputed single backend plus the request shapes to test."""
+
+    backend: KyrixBackend
+    app_name: str
+    #: (canvas_id, layer_index, tile_size) triples to issue tile requests on.
+    canvases: list[tuple[str, int, int]]
+    #: (canvas_id, layer_index, rect-tuple) dynamic-box requests to issue.
+    boxes: list[tuple[str, int, tuple[float, float, float, float]]]
+
+
+def build_usmap_parity_stack() -> ParityStack:
+    """Two-canvas US map (states + counties), full placement precompute."""
+    spec = USMapSpec(
+        state_canvas_width=4096.0, state_canvas_height=4096.0, county_zoom=4.0
+    )
+    config = default_config(viewport=1024)
+    database = Database(config.storage)
+    load_usmap(database, spec)
+
+    app = App("usmap", config=config)
+    statemap = Canvas(
+        "statemap", width=spec.state_canvas_width, height=spec.state_canvas_height
+    )
+    app.add_canvas(statemap)
+    statemap.add_transform(
+        Transform(
+            transform_id="stateTrans",
+            query="SELECT state_id, name, cx, cy, width, height, rate, bbox FROM states",
+            columns=("state_id", "name", "cx", "cy", "width", "height", "rate", "bbox"),
+        )
+    )
+    state_layer = Layer("stateTrans", False)
+    statemap.add_layer(state_layer)
+    state_layer.add_placement(
+        ColumnPlacement(x_column="cx", y_column="cy", width="width", height="height")
+    )
+    state_layer.add_rendering_func(dot_renderer("cx", "cy"))
+
+    countymap = Canvas(
+        "countymap",
+        width=spec.county_canvas_width,
+        height=spec.county_canvas_height,
+        zoom_level=spec.county_zoom,
+    )
+    app.add_canvas(countymap)
+    countymap.add_transform(
+        Transform(
+            transform_id="countyTrans",
+            query=(
+                "SELECT county_id, state_id, name, cx, cy, width, height, rate, bbox "
+                "FROM counties"
+            ),
+            columns=(
+                "county_id", "state_id", "name", "cx", "cy", "width", "height",
+                "rate", "bbox",
+            ),
+        )
+    )
+    county_layer = Layer("countyTrans", False)
+    countymap.add_layer(county_layer)
+    county_layer.add_placement(
+        ColumnPlacement(x_column="cx", y_column="cy", width="width", height="height")
+    )
+    county_layer.add_rendering_func(dot_renderer("cx", "cy"))
+
+    app.add_jump(Jump("statemap", "countymap", "semantic_zoom"))
+    app.set_initial_canvas("statemap", 0, 0)
+    compiled = compile_application(app)
+    backend = KyrixBackend(database, compiled, config)
+    backend.precompute(tile_sizes=(1024,))
+    return ParityStack(
+        backend=backend,
+        app_name="usmap",
+        canvases=[("statemap", 0, 1024), ("countymap", 0, 4096)],
+        boxes=[
+            ("statemap", 0, (0.0, 0.0, 4096.0, 4096.0)),
+            ("statemap", 0, (900.0, 900.0, 2100.0, 2100.0)),
+            ("countymap", 0, (3000.0, 5000.0, 9000.0, 11000.0)),
+        ],
+    )
+
+
+def build_eeg_parity_stack() -> ParityStack:
+    """One temporal EEG canvas with per-sample placement precompute."""
+    spec = EEGSpec(channels=2, sample_rate_hz=16.0, duration_s=120.0, epoch_s=30.0)
+    config = default_config(viewport=400)
+    database = Database(config.storage)
+    load_eeg(database, spec)
+
+    lane_height = spec.amplitude_uv * 4.0  # must match datagen.eeg lane layout
+    canvas_width = spec.duration_s * 1000.0
+    canvas_height = spec.channels * lane_height
+
+    def place_sample(row):
+        row["px"] = row["t_ms"]
+        row["py"] = row["channel"] * lane_height + lane_height / 2.0 + row["value"]
+        return row
+
+    app = App("eeg", config=config)
+    canvas = Canvas("temporal", width=canvas_width, height=canvas_height)
+    app.add_canvas(canvas)
+    canvas.add_transform(
+        Transform(
+            transform_id="samplesTrans",
+            query="SELECT sample_id, channel, t_ms, value FROM eeg_samples",
+            transform_func=place_sample,
+            columns=("sample_id", "channel", "t_ms", "value", "px", "py"),
+        )
+    )
+    layer = Layer("samplesTrans", False)
+    canvas.add_layer(layer)
+    layer.add_placement(ColumnPlacement(x_column="px", y_column="py"))
+    layer.add_rendering_func(dot_renderer("px", "py"))
+
+    app.set_initial_canvas("temporal", 0, 0)
+    compiled = compile_application(app)
+    backend = KyrixBackend(database, compiled, config)
+    backend.precompute(tile_sizes=(32768,))
+    return ParityStack(
+        backend=backend,
+        app_name="eeg",
+        canvases=[("temporal", 0, 32768)],
+        boxes=[
+            ("temporal", 0, (0.0, 0.0, canvas_width, canvas_height)),
+            ("temporal", 0, (10_000.0, 50.0, 45_000.0, 350.0)),
+            ("temporal", 0, (59_000.0, 0.0, 61_000.0, canvas_height)),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def usmap_parity_stack() -> ParityStack:
+    return build_usmap_parity_stack()
+
+
+@pytest.fixture(scope="module")
+def eeg_parity_stack() -> ParityStack:
+    return build_eeg_parity_stack()

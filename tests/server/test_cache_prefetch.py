@@ -84,6 +84,50 @@ class TestLRUCache:
         cache.get("b")
         assert cache.stats.hit_rate() == 0.5
 
+    def test_shrinking_capacity_evicts_down(self):
+        cache = LRUCache(4)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, key)
+        cache.get("a")            # "a" becomes most recent
+        cache.capacity = 2
+        assert len(cache) == 2
+        assert cache.keys() == ["d", "a"]
+        assert cache.stats.evictions == 2
+
+    def test_capacity_set_to_zero_clears_and_disables(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.capacity = 0
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        cache.put("b", 2)         # inserts are no-ops at capacity 0
+        assert len(cache) == 0
+
+    def test_capacity_setter_rejects_negative(self):
+        cache = LRUCache(4)
+        with pytest.raises(ValueError):
+            cache.capacity = -1
+
+    def test_growing_capacity_keeps_entries(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.capacity = 4
+        cache.put("c", 3)
+        cache.put("d", 4)
+        assert len(cache) == 4
+
+    def test_stats_snapshot(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        snapshot = cache.stats.snapshot()
+        assert snapshot["hits"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["inserts"] == 1
+        assert snapshot["hit_rate"] == 0.5
+
 
 class TestMomentumPrefetcher:
     def test_no_prediction_without_history(self):
