@@ -4,8 +4,10 @@ This is the smallest end-to-end use of the public API:
 
 1. generate a synthetic dot dataset and load it into the embedded database,
 2. declare a one-canvas Kyrix application over it,
-3. compile it, start a backend, and drive it with the headless frontend
-   using the paper's dynamic-box fetching,
+3. compile it and build the serving stack with ``serving.build_service``
+   (one factory assembles backend, caches and — when configured — the
+   sharded cluster), then drive it with the headless frontend using the
+   paper's dynamic-box fetching,
 4. print the average response time per interaction (the paper's 500 ms goal).
 
 Run with::
@@ -15,11 +17,14 @@ Run with::
 
 from __future__ import annotations
 
-from repro.bench import build_dots_backend, default_config
+from repro.bench import build_dots_application, default_config
 from repro.client import KyrixFrontend
+from repro.compiler import compile_application
 from repro.config import INTERACTIVITY_BUDGET_MS
-from repro.datagen import uniform_spec
+from repro.datagen import load_dots, uniform_spec
 from repro.server import dbox_scheme
+from repro.serving import build_service
+from repro.storage import Database
 
 
 def main(num_points: int = 50_000) -> float:
@@ -29,9 +34,17 @@ def main(num_points: int = 50_000) -> float:
     )
     print(f"Loading {dataset.num_points:,} dots on a "
           f"{dataset.canvas_width:.0f} x {dataset.canvas_height:.0f} canvas ...")
-    stack = build_dots_backend(dataset, config=default_config(viewport=1024))
+    config = default_config(viewport=1024)
+    database = Database(config.storage)
+    load_dots(database, dataset)
+    application = build_dots_application(dataset, config)
+    compiled = compile_application(application)
 
-    frontend = KyrixFrontend(stack.backend, dbox_scheme(), render=True)
+    # The one factory call that replaces hand-assembled serving stacks:
+    # precomputes the backend and composes the configured middleware.
+    service = build_service(config, database=database, compiled=compiled)
+
+    frontend = KyrixFrontend(service, dbox_scheme(), render=True)
     frontend.load_initial_canvas()
     print(f"initial load: {frontend.metrics.steps[0].total_ms:.1f} ms, "
           f"{frontend.metrics.steps[0].objects_fetched} objects")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.bench.apps import default_config
 from repro.client import KyrixFrontend
 from repro.compiler import compile_application
+from repro.serving import build_service
 from repro.core import (
     App,
     Canvas,
@@ -28,7 +29,7 @@ from repro.core import (
     legend_renderer,
 )
 from repro.datagen import USMapSpec, load_usmap
-from repro.server import KyrixBackend, dbox50_scheme
+from repro.server import dbox50_scheme
 from repro.storage import Database
 
 
@@ -140,10 +141,11 @@ def main() -> dict[str, float]:
     spec = USMapSpec()
     app, database = build_usmap_application(spec)
     compiled = compile_application(app)
-    backend = KyrixBackend(database, compiled, app.config)
-    backend.precompute()
+    # One factory call builds and precomputes the serving stack (a cached
+    # backend here; flipping ``config.cluster.enabled`` shards it).
+    service = build_service(app.config, database=database, compiled=compiled)
 
-    frontend = KyrixFrontend(backend, dbox50_scheme(), render=True)
+    frontend = KyrixFrontend(service, dbox50_scheme(), render=True)
     load = frontend.load_initial_canvas()
     print(f"[statemap] initial load: {load.total_ms:.1f} ms, "
           f"{load.objects_fetched} states fetched")

@@ -10,6 +10,10 @@ is drawn:
 * :mod:`repro.server` precomputes placement tables / indexes in the embedded
   database (:mod:`repro.storage` + :mod:`repro.minisql`) and answers data
   requests with static tiles or the paper's dynamic boxes,
+* :mod:`repro.serving` defines the unified ``DataService`` serving surface
+  (protocol + composable middleware + wire transport) and the
+  :func:`~repro.serving.build_service` factory every call site builds its
+  stack with,
 * :mod:`repro.client` plays the browser frontend: it tracks the viewport,
   issues pans and jumps, caches, prefetches and renders,
 * :mod:`repro.datagen` and :mod:`repro.bench` regenerate the evaluation.
@@ -22,7 +26,7 @@ Quickstart::
     from repro.server import dbox_scheme
 
     stack = build_dots_backend(uniform_spec(num_points=50_000))
-    frontend = KyrixFrontend(stack.backend, dbox_scheme())
+    frontend = KyrixFrontend(stack.service, dbox_scheme())
     frontend.load_initial_canvas()
     frontend.pan_by(1024, 0)
     print(frontend.average_response_ms(), "ms per interaction")
@@ -55,6 +59,14 @@ from .compiler import CompiledApplication, compile_application, validate
 from .client import ExplorationSession, KyrixFrontend
 from .errors import KyrixError
 from .server import FetchScheme, KyrixBackend, dbox_scheme, paper_schemes
+from .serving import (
+    CachingService,
+    CoalescingService,
+    DataService,
+    MetricsService,
+    TransportService,
+    build_service,
+)
 from .storage import Database
 
 __version__ = "1.0.0"
@@ -63,14 +75,20 @@ __all__ = [
     "App",
     "Application",
     "CacheConfig",
+    "CachingService",
     "CallablePlacement",
     "Canvas",
     "ClusterConfig",
     "ClusterRouter",
+    "CoalescingService",
+    "DataService",
+    "MetricsService",
     "ShardedCluster",
     "ColumnPlacement",
     "CompiledApplication",
     "Database",
+    "TransportService",
+    "build_service",
     "ExplorationSession",
     "FetchScheme",
     "INTERACTIVITY_BUDGET_MS",

@@ -28,7 +28,8 @@ from ..server.backend import KyrixBackend
 from ..storage.database import Database
 
 if TYPE_CHECKING:
-    from ..cluster import ClusterRouter, ShardedCluster
+    from ..cluster import ShardedCluster
+    from ..serving.base import DataService
 
 
 @dataclass
@@ -40,6 +41,10 @@ class DotsStack:
     application: Application
     compiled: CompiledApplication
     backend: KyrixBackend
+    #: The composed serving stack (`serving.build_service` output) frontends
+    #: talk to: the cluster router when ``config.cluster.enabled``, the
+    #: cached backend otherwise.
+    service: "DataService | None" = None
     #: Built when ``config.cluster.enabled`` is true.
     cluster: "ShardedCluster | None" = None
 
@@ -48,9 +53,9 @@ class DotsStack:
         return "dots"
 
     @property
-    def serving(self) -> "KyrixBackend | ClusterRouter":
-        """What frontends should talk to: the cluster router when sharded."""
-        return self.cluster.router if self.cluster is not None else self.backend
+    def serving(self) -> "DataService":
+        """Deprecated alias of :attr:`service` (kept for one release)."""
+        return self.service if self.service is not None else self.backend
 
 
 def default_config(
@@ -149,16 +154,22 @@ def build_dots_backend(
     compiled = compile_application(application)
     backend = KyrixBackend(database, compiled, config)
     backend.precompute(tile_sizes=tile_sizes)
-    cluster = None
-    if config.cluster.enabled:
-        from ..cluster import build_cluster
 
-        cluster = build_cluster(backend, tile_sizes=tile_sizes)
+    # One factory assembles the serving stack (sharding it per
+    # ``config.cluster``); the cluster handle rides on the router so
+    # benchmarks can keep reading shard-level statistics.
+    from ..cluster import ClusterRouter
+    from ..serving import build_service, unwrap
+
+    service = build_service(config, backend=backend, tile_sizes=tile_sizes)
+    router = unwrap(service, ClusterRouter)
+    cluster = router.cluster if router is not None else None
     return DotsStack(
         spec=dataset,
         database=database,
         application=application,
         compiled=compiled,
         backend=backend,
+        service=service,
         cluster=cluster,
     )

@@ -326,13 +326,17 @@ class ClusterScalingResult:
     sessions: int
     steps: int
     wall_seconds: float
-    #: Pan steps completed per wall-clock second across all sessions — the
-    #: only *measured* (GIL-bound, shards executed sequentially) number here.
+    #: Pan steps completed per wall-clock second across all sessions —
+    #: *measured* end to end (shard queries execute on the router's thread
+    #: pool; per-shard indexes shrink with shard count).
     throughput_steps_per_s: float
+    #: Measured wall-clock milliseconds per pan step (the inverse of
+    #: throughput): the number that must *decrease* with shard count.
+    measured_step_ms: float
     #: Per-step response-time model (``LatencyBreakdown.total_ms``): the
-    #: scatter-gather critical path plus simulated link time, i.e. what a
-    #: deployment with parallel shard workers would observe — not the
-    #: wall-clock of this process.
+    #: scatter-gather critical path plus simulated link time.  With
+    #: parallel shard workers the measured wall-clock tracks this model
+    #: instead of the sum over shards.
     latency: SummaryStats
     #: Mean query component of the same model (slowest shard + merge).
     simulated_query_ms: float
@@ -353,6 +357,7 @@ class ClusterScalingResult:
             "sessions": self.sessions,
             "steps": self.steps,
             "throughput_steps_s": round(self.throughput_steps_per_s, 1),
+            "wall_ms_per_step": round(self.measured_step_ms, 3),
             "p50_ms": round(self.latency.median, 2),
             "p95_ms": round(self.latency.p95, 2),
             "max_ms": round(self.latency.maximum, 2),
@@ -395,7 +400,7 @@ def concurrent_pan_workload(
     # hanging forever.
     workloads = [
         (
-            ExplorationSession.from_backend(router, scheme, config=config),
+            ExplorationSession.for_service(router, scheme, config=config),
             list(traces[index % len(traces)].positions),
         )
         for index in range(sessions)
@@ -433,18 +438,21 @@ def cluster_scaling(
     datasets: Sequence[str] = ("uniform", "skewed"),
     strategy: str = "grid",
     coalescing: bool = True,
+    parallel: bool = True,
+    wire_shards: bool | None = None,
 ) -> list[ClusterScalingResult]:
     """Throughput/latency of the sharded cluster at increasing shard counts.
 
     For each dataset, one source stack is precomputed and then sharded at
     every requested shard count; ``sessions`` concurrent sessions replay the
     Figure 5 pan traces through the cluster router with the dynamic-box
-    scheme.  Throughput is wall-clock (and GIL-bound: shard queries execute
-    sequentially in-process).  The latency percentiles summarise the
-    per-step response-time *model* — scatter-gather critical path (slowest
-    shard + merge) plus simulated link time — so they shrink with shard
-    count by construction; ``simulated_query_ms`` isolates the query
-    component of that model.
+    scheme.  ``wall_ms_per_step`` / ``throughput_steps_s`` are measured
+    end-to-end wall-clock: with ``parallel=True`` shard queries run on the
+    router's thread pool (``parallel=False`` measures the sequential
+    baseline the parity tests compare against).  The latency percentiles
+    summarise the per-step response-time *model* — scatter-gather critical
+    path (slowest shard + merge) plus simulated link time;
+    ``simulated_query_ms`` isolates the query component of that model.
     """
     results: list[ClusterScalingResult] = []
     for dataset_name in datasets:
@@ -458,6 +466,8 @@ def cluster_scaling(
                 shard_count=shard_count,
                 strategy=strategy,
                 coalescing=coalescing,
+                parallel=parallel,
+                wire_shards=wire_shards,
             )
             # Report what actually ran: the KD partitioner falls back to the
             # grid when a canvas has too little density signal, and that must
@@ -495,6 +505,7 @@ def cluster_scaling(
                     steps=steps,
                     wall_seconds=wall_seconds,
                     throughput_steps_per_s=steps / wall_seconds if wall_seconds else 0.0,
+                    measured_step_ms=wall_seconds * 1000.0 / steps if steps else 0.0,
                     latency=summarize(step_times or [0.0]),
                     simulated_query_ms=(
                         sum(query_times) / len(query_times) if query_times else 0.0
@@ -507,6 +518,8 @@ def cluster_scaling(
                     per_shard_requests=dict(router_stats.per_shard_requests),
                 )
             )
+            # Release the scatter executor before the next shard count.
+            cluster.close()
     return results
 
 

@@ -89,12 +89,26 @@ class ExperimentResult:
 
 
 def _reset_serving_caches(stack: DotsStack) -> None:
-    """Cold-start every response cache on the stack's serving path."""
+    """Cold-start every response cache on the stack's serving path.
+
+    Walks the composed middleware stack (plus the shard backends behind a
+    cluster router), clearing every :class:`CachingService` layer it finds.
+    """
+    from ..cluster.router import ClusterRouter
+    from ..serving.base import stack_layers
+    from ..serving.middleware import CachingService
+
     stack.backend.cache.clear()
     stack.backend.cache.stats.reset()
+    if stack.service is not None:
+        for layer in stack_layers(stack.service):
+            if isinstance(layer, CachingService):
+                layer.cache.clear()
+                layer.cache.stats.reset()
+            if isinstance(layer, ClusterRouter):
+                layer.cache.clear()
+                layer.cache.stats.reset()
     if stack.cluster is not None:
-        stack.cluster.router.cache.clear()
-        stack.cluster.router.cache.stats.reset()
         for shard in stack.cluster.shards:
             shard.backend.cache.clear()
             shard.backend.cache.stats.reset()
@@ -114,13 +128,14 @@ def run_scheme_on_trace(
     The backend cache persists across schemes only if the caller reuses the
     same stack *and* leaves it warm; the paper's numbers are per-run
     averages over cold frontends, so each call builds a new frontend and
-    clears the serving-side caches first.  When the stack was built with
-    ``config.cluster.enabled``, the frontend talks to the cluster router
-    (``stack.serving``) instead of the single backend.
+    clears the serving-side caches first.  The frontend talks to the
+    stack's composed :class:`~repro.serving.base.DataService`
+    (``stack.service``) — the cluster router when the stack was built with
+    ``config.cluster.enabled``, the cached backend otherwise.
     """
     _reset_serving_caches(stack)
     frontend = KyrixFrontend(
-        stack.serving,
+        stack.service if stack.service is not None else stack.backend,
         scheme,
         config=config or stack.backend.config,
         prefetcher=prefetcher,

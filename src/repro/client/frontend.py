@@ -27,7 +27,6 @@ from ..metrics.collector import LatencyBreakdown, MetricsCollector
 from ..metrics.timer import Timer
 from ..net.link import SimulatedLink
 from ..net.protocol import DataRequest, DataResponse
-from ..server.backend import KyrixBackend
 from ..server.cache import LRUCache
 from ..server.dbox import DynamicBoxState
 from ..server.prefetch import Prefetcher, make_prefetcher
@@ -36,21 +35,24 @@ from ..server.tile import TileScheme
 from .renderer import RasterRenderer
 
 if TYPE_CHECKING:
-    from ..cluster.router import ClusterRouter
+    from ..serving.base import DataService
 
 
 class KyrixFrontend:
     """A headless frontend driving one Kyrix application.
 
-    ``backend`` is anything implementing the backend serving surface —
-    a single :class:`~repro.server.backend.KyrixBackend` or a sharded
-    :class:`~repro.cluster.router.ClusterRouter`; the frontend only uses
-    ``handle()``, ``compiled`` and ``config``.
+    ``service`` is any :class:`~repro.serving.base.DataService` — the
+    composed stack returned by :func:`repro.serving.build_service`, a bare
+    :class:`~repro.server.backend.KyrixBackend`, a sharded
+    :class:`~repro.cluster.router.ClusterRouter`, or a
+    :class:`~repro.serving.transport.RemoteBackendStub` talking to a remote
+    deployment; the frontend only uses the protocol surface (``handle()``,
+    ``compiled``, ``config``).
     """
 
     def __init__(
         self,
-        backend: "KyrixBackend | ClusterRouter",
+        service: "DataService",
         scheme: FetchScheme | None = None,
         *,
         config: KyrixConfig | None = None,
@@ -58,9 +60,11 @@ class KyrixFrontend:
         prefetcher: Prefetcher | None = None,
         render: bool = False,
     ) -> None:
-        self.backend = backend
+        self.service = service
+        #: Deprecated alias of :attr:`service`, kept for one release.
+        self.backend = service
         self.scheme = scheme or dbox_scheme()
-        self.config = config or backend.config
+        self.config = config or service.config
         self.link = link or SimulatedLink(self.config.network)
         cache_entries = (
             self.config.cache.frontend_entries if self.config.cache.enabled else 0
@@ -95,9 +99,9 @@ class KyrixFrontend:
 
     def load_canvas(self, canvas_id: str, viewport: Viewport) -> LatencyBreakdown:
         """Switch to ``canvas_id`` with ``viewport`` and fetch its data."""
-        if canvas_id not in self.backend.compiled.canvases:
+        if canvas_id not in self.service.compiled.canvases:
             raise UnknownCanvasError(f"no canvas {canvas_id!r}")
-        plan = self.backend.compiled.canvas_plan(canvas_id)
+        plan = self.service.compiled.canvas_plan(canvas_id)
         self.current_canvas_id = canvas_id
         self.viewport = viewport.clamped_to(plan.width, plan.height)
         self._dbox_states = {}
@@ -119,7 +123,7 @@ class KyrixFrontend:
         return self._pan(viewport)
 
     def _pan(self, viewport: Viewport) -> LatencyBreakdown:
-        plan = self.backend.compiled.canvas_plan(self._require_canvas())
+        plan = self.service.compiled.canvas_plan(self._require_canvas())
         self.viewport = viewport.clamped_to(plan.width, plan.height)
         if self.prefetcher is not None:
             self.prefetcher.observe(self.viewport)
@@ -134,7 +138,7 @@ class KyrixFrontend:
                 f"jump source {jump.source!r} is not the current canvas "
                 f"{self.current_canvas_id!r}"
             )
-        destination_plan = self.backend.compiled.canvas_plan(jump.destination)
+        destination_plan = self.service.compiled.canvas_plan(jump.destination)
         center = jump.destination_viewport_center(row or {})
         viewport = self._require_viewport()
         if center is None:
@@ -167,7 +171,7 @@ class KyrixFrontend:
         """Fetch (and optionally render) every dynamic layer for the viewport."""
         canvas_id = self._require_canvas()
         viewport = self._require_viewport()
-        plan = self.backend.compiled.canvas_plan(canvas_id)
+        plan = self.service.compiled.canvas_plan(canvas_id)
         breakdown = LatencyBreakdown(cache_hit=True)
         self.visible_objects = {}
 
@@ -200,7 +204,7 @@ class KyrixFrontend:
             tile_scheme = TileScheme(canvas_plan.width, canvas_plan.height, scheme.tile_size)
             return [
                 DataRequest(
-                    app_name=self.backend.compiled.app_name,
+                    app_name=self.service.compiled.app_name,
                     canvas_id=layer_plan.canvas_id,
                     layer_index=layer_plan.layer_index,
                     granularity="tile",
@@ -220,7 +224,7 @@ class KyrixFrontend:
         state.record_fetch(box)
         return [
             DataRequest(
-                app_name=self.backend.compiled.app_name,
+                app_name=self.service.compiled.app_name,
                 canvas_id=layer_plan.canvas_id,
                 layer_index=layer_plan.layer_index,
                 granularity="box",
@@ -240,7 +244,7 @@ class KyrixFrontend:
             breakdown.cache_hit = True
             breakdown.objects_fetched = len(cached.objects)
             return cached, breakdown
-        response = self.backend.handle(request)
+        response = self.service.handle(request)
         payload = self.link.estimate_object_payload(response.object_count())
         network_ms = self.link.charge_request(payload)
         breakdown.query_ms = response.query_ms
@@ -271,7 +275,7 @@ class KyrixFrontend:
         if self.prefetcher is None:
             return
         canvas_id = self._require_canvas()
-        plan = self.backend.compiled.canvas_plan(canvas_id)
+        plan = self.service.compiled.canvas_plan(canvas_id)
         predictions = self.prefetcher.predict(self.config.prefetch.lookahead_steps)
         for predicted in predictions:
             clamped = predicted.clamped_to(plan.width, plan.height)
@@ -279,7 +283,7 @@ class KyrixFrontend:
                 for request in self._prefetch_requests(layer_plan, clamped, plan):
                     if self.cache.peek(request.cache_key()) is not None:
                         continue
-                    response = self.backend.handle(request)
+                    response = self.service.handle(request)
                     self.cache.put(request.cache_key(), response)
                     self.metrics.bump("prefetch_requests")
 
@@ -294,7 +298,7 @@ class KyrixFrontend:
         box = calculator.compute(viewport, canvas_plan.width, canvas_plan.height)
         return [
             DataRequest(
-                app_name=self.backend.compiled.app_name,
+                app_name=self.service.compiled.app_name,
                 canvas_id=layer_plan.canvas_id,
                 layer_index=layer_plan.layer_index,
                 granularity="box",
@@ -309,7 +313,7 @@ class KyrixFrontend:
     # -- helpers --------------------------------------------------------------------------------
 
     def _spec(self):
-        spec = self.backend.compiled.spec
+        spec = self.service.compiled.spec
         if spec is None:
             raise UnknownCanvasError("backend plan carries no application spec")
         return spec

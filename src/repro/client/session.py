@@ -17,11 +17,10 @@ from ..metrics.collector import LatencyBreakdown, MetricsCollector
 from .frontend import KyrixFrontend
 
 if TYPE_CHECKING:
-    from ..cluster.router import ClusterRouter
     from ..config import KyrixConfig
-    from ..server.backend import KyrixBackend
     from ..server.prefetch import Prefetcher
     from ..server.schemes import FetchScheme
+    from ..serving.base import DataService
 
 
 @dataclass
@@ -50,25 +49,41 @@ class ExplorationSession:
         self.frontend = frontend
 
     @classmethod
-    def from_backend(
+    def for_service(
         cls,
-        backend: "KyrixBackend | ClusterRouter",
+        service: "DataService",
         scheme: "FetchScheme | None" = None,
         *,
         config: "KyrixConfig | None" = None,
         prefetcher: "Prefetcher | None" = None,
         render: bool = False,
     ) -> "ExplorationSession":
-        """Build a session over a fresh frontend for ``backend``.
+        """Build a session over a fresh frontend for any ``DataService``.
 
-        ``backend`` may be a single :class:`~repro.server.backend.KyrixBackend`
-        or a sharded :class:`~repro.cluster.router.ClusterRouter` — sessions
-        drive either through the same frontend.
+        ``service`` is whatever :func:`repro.serving.build_service`
+        returned — a cached backend, a sharded cluster router, a composed
+        middleware stack or a remote stub; sessions drive them all through
+        the same frontend.
         """
         frontend = KyrixFrontend(
-            backend, scheme, config=config, prefetcher=prefetcher, render=render
+            service, scheme, config=config, prefetcher=prefetcher, render=render
         )
         return cls(frontend)
+
+    @classmethod
+    def from_backend(
+        cls,
+        backend: "DataService",
+        scheme: "FetchScheme | None" = None,
+        *,
+        config: "KyrixConfig | None" = None,
+        prefetcher: "Prefetcher | None" = None,
+        render: bool = False,
+    ) -> "ExplorationSession":
+        """Deprecated alias of :meth:`for_service` (kept for one release)."""
+        return cls.for_service(
+            backend, scheme, config=config, prefetcher=prefetcher, render=render
+        )
 
     def run_trace(
         self,

@@ -24,25 +24,34 @@ tuple–tile mapping tables per shard, giving each shard a self-contained
 
 **Scatter-gather serving** (:mod:`~repro.cluster.router`).  A
 :class:`~repro.cluster.router.ClusterRouter` answers requests by fanning a
-tile/box query out to only the shards overlapping its canvas rectangle, then
-merges the shard responses and deduplicates replicated boundary tuples by
-``tuple_id``.  The gathered ``query_ms`` is the critical path (slowest shard
-plus merge time, modelling parallel shard execution) and per-shard timings
-are surfaced in ``DataResponse.shard_ms`` so latency breakdowns stay
+tile/box query out to only the shards overlapping its canvas rectangle —
+in parallel on a thread pool when ``cluster.parallel_shards`` is set — then
+merges the shard responses in shard-id order and deduplicates replicated
+boundary tuples by ``tuple_id`` (the gathered object list is byte-identical
+between the parallel and sequential paths).  The gathered ``query_ms`` is
+the critical path (slowest shard plus merge time) and per-shard timings are
+surfaced in ``DataResponse.shard_ms`` so latency breakdowns stay
 attributable.  Identical in-flight requests from concurrent sessions are
-coalesced behind one scatter-gather
-(:mod:`~repro.cluster.coalescer`), and a shared router LRU cache sits in
-front of everything.
+coalesced behind one scatter-gather (via
+:class:`~repro.serving.middleware.CoalescingService` /
+:mod:`~repro.cluster.coalescer`), and a shared router LRU cache
+(:class:`~repro.serving.middleware.CachingService`) sits in front of
+everything.  With ``cluster.wire_shards`` (the default), every shard call
+crosses the :mod:`repro.net.protocol` JSON encoding through a
+:class:`~repro.serving.transport.TransportService`, so shard conversations
+are exactly what a multi-node deployment would put on the network.
 
-The router exposes the same serving surface as a backend, so
-``KyrixFrontend`` / ``ExplorationSession`` accept either
-(``ExplorationSession.from_backend(cluster.router, ...)``).  Configuration
-lives in ``KyrixConfig.cluster`` (shard count, strategy, coalescing);
+The router implements the :class:`~repro.serving.base.DataService`
+protocol, so ``KyrixFrontend`` / ``ExplorationSession`` drive a cluster
+exactly like a single backend; build the whole stack with
+:func:`repro.serving.build_service` rather than wiring routers by hand.
+Configuration lives in ``KyrixConfig.cluster`` (shard count, strategy,
+coalescing, parallel/wire flags);
 ``benchmarks/bench_cluster_scaling.py`` measures throughput and latency
 percentiles at 1/2/4/8 shards under concurrent pan workloads.
 """
 
-from .builder import ShardedCluster, build_cluster
+from .builder import ShardedCluster, build_cluster, shard_service
 from .coalescer import CoalescerStats, RequestCoalescer
 from .partitioner import (
     BalancedKDPartitioner,
@@ -68,4 +77,5 @@ __all__ = [
     "ShardedIndexer",
     "build_cluster",
     "make_partitioner",
+    "shard_service",
 ]

@@ -6,6 +6,9 @@ from dataclasses import dataclass, replace
 from typing import Any
 
 from ..server.backend import KyrixBackend
+from ..serving.base import DataService
+from ..serving.middleware import SerializedService
+from ..serving.transport import TransportService
 from .partitioner import Partitioning
 from .router import ClusterRouter
 from .sharded import ShardedIndexer, ShardHandle
@@ -26,6 +29,26 @@ class ShardedCluster:
     def describe(self) -> dict[str, Any]:
         return self.router.describe()
 
+    def close(self) -> None:
+        self.router.close()
+
+
+def shard_service(shard: ShardHandle, *, wire: bool) -> DataService:
+    """The serving stack of one shard.
+
+    Always a :class:`~repro.serving.middleware.SerializedService` guarding
+    the shard's embedded engine (the stand-in for one single-threaded worker
+    process).  With ``wire=True`` a
+    :class:`~repro.serving.transport.TransportService` sits on top, so every
+    call the router makes crosses the :mod:`repro.net.protocol` JSON
+    encoding both ways — exactly the bytes a multi-node deployment would
+    exchange.
+    """
+    stack: DataService = SerializedService(shard.backend, lock=shard.lock)
+    if wire:
+        stack = TransportService(stack)
+    return stack
+
 
 def build_cluster(
     source_backend: KyrixBackend,
@@ -33,6 +56,8 @@ def build_cluster(
     shard_count: int | None = None,
     strategy: str | None = None,
     coalescing: bool | None = None,
+    parallel: bool | None = None,
+    wire_shards: bool | None = None,
     tile_sizes: tuple[int, ...] = (),
 ) -> ShardedCluster:
     """Shard a precomputed backend into a scatter-gather serving cluster.
@@ -46,12 +71,18 @@ def build_cluster(
     """
     config = source_backend.config
     cluster_config = config.cluster
-    if shard_count is not None or strategy is not None:
-        cluster_config = replace(
-            cluster_config,
-            shard_count=shard_count if shard_count is not None else cluster_config.shard_count,
-            strategy=strategy if strategy is not None else cluster_config.strategy,
+    overrides = {
+        name: value
+        for name, value in (
+            ("shard_count", shard_count),
+            ("strategy", strategy),
+            ("parallel_shards", parallel),
+            ("wire_shards", wire_shards),
         )
+        if value is not None
+    }
+    if overrides:
+        cluster_config = replace(cluster_config, **overrides)
     indexer = ShardedIndexer(
         source_backend.database,
         source_backend.compiled,
@@ -59,6 +90,8 @@ def build_cluster(
         cluster_config=cluster_config,
     )
     shards, partitionings = indexer.build_shards(tile_sizes=tile_sizes)
+    for shard in shards:
+        shard.service = shard_service(shard, wire=cluster_config.wire_shards)
     router = ClusterRouter(
         shards,
         partitionings,
@@ -67,4 +100,9 @@ def build_cluster(
         cluster_config=cluster_config,
         coalescing=coalescing,
     )
-    return ShardedCluster(router=router, shards=shards, partitionings=partitionings)
+    cluster = ShardedCluster(router=router, shards=shards, partitionings=partitionings)
+    # The router carries its cluster handle so callers that only hold the
+    # service stack (e.g. `serving.build_service` output) can reach shard
+    # bookkeeping without rebuilding a second ShardedCluster.
+    router.cluster = cluster
+    return cluster

@@ -1,29 +1,41 @@
-"""The cluster router: scatter-gather over shard backends.
+"""The cluster router: parallel scatter-gather over shard backends.
 
-A :class:`ClusterRouter` exposes the same serving surface as
-:class:`~repro.server.backend.KyrixBackend` (``handle`` / ``warm`` /
-``canvas_info`` / ``layer_density`` plus ``compiled``, ``config`` and
-``cache``), so frontends and sessions can be pointed at a cluster without
-changes.  For each :class:`~repro.net.protocol.DataRequest` it:
+A :class:`ClusterRouter` implements the :class:`~repro.serving.base.DataService`
+protocol (``handle`` / ``warm`` / ``canvas_info`` / ``layer_density`` plus
+``compiled`` / ``config`` / ``stats`` / ``close``), so frontends and sessions
+drive a cluster exactly like a single backend.  Internally it is a composed
+middleware stack over the scatter-gather core::
 
-1. consults the shared router cache (keyed by the unsharded cache key),
-2. coalesces identical in-flight requests from concurrent sessions behind
-   one scatter-gather (see :mod:`repro.cluster.coalescer`),
-3. computes the request's canvas rectangle and *scatters* the request only
-   to the shards whose regions intersect it (``shard_id``-stamped copies, so
-   per-shard backend caches stay disjoint), and
-4. *gathers* the shard responses, merging objects and deduplicating
-   boundary-straddling tuples that were replicated into several shards.
+    CachingService( CoalescingService( scatter-gather ) )
+
+1. the shared router cache (keyed by the unsharded cache key) answers
+   repeats (:class:`~repro.serving.middleware.CachingService`),
+2. identical in-flight requests from concurrent sessions coalesce behind
+   one scatter-gather (:class:`~repro.serving.middleware.CoalescingService`),
+3. the scatter-gather computes the request's canvas rectangle and
+   *scatters* the request only to the shards whose regions intersect it
+   (``shard_id``-stamped copies, so per-shard backend caches stay
+   disjoint), executing the shard queries **in parallel** on a thread pool
+   when ``cluster.parallel_shards`` is set, and
+4. *gathers* the shard responses in shard-id order, merging objects and
+   deduplicating boundary-straddling tuples that were replicated into
+   several shards — the gathered object list is byte-identical whether the
+   shard queries ran in parallel or sequentially.
 
 ``DataResponse.query_ms`` of a gathered response is the critical path — the
-slowest shard plus the router's merge time, modelling shards that execute in
-parallel — while ``DataResponse.shard_ms`` keeps the per-shard timings so
-latency breakdowns stay attributable.
+slowest shard plus the router's merge time — which parallel execution makes
+the *measured* shape of the request too, not just the modelled one.
+``DataResponse.shard_ms`` keeps the per-shard timings so latency breakdowns
+stay attributable.
+
+Constructing a ``ClusterRouter`` directly as a frontend endpoint is
+deprecated; use :func:`repro.serving.build_service`.
 """
 
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -34,6 +46,7 @@ from ..metrics.timer import Timer
 from ..net.protocol import DataRequest, DataResponse
 from ..server.cache import LRUCache
 from ..server.tile import TileScheme
+from ..serving.middleware import CachingService, CoalescingService
 from ..storage.rtree import Rect
 from .coalescer import RequestCoalescer
 from .partitioner import Partitioning
@@ -79,6 +92,40 @@ class ClusterStats:
         self.fanout.clear()
 
 
+class _ScatterGatherService:
+    """The router's terminal :class:`DataService`: one scatter-gather per call."""
+
+    def __init__(self, router: "ClusterRouter") -> None:
+        self.router = router
+
+    @property
+    def compiled(self) -> CompiledApplication:
+        return self.router.compiled
+
+    @property
+    def config(self) -> KyrixConfig:
+        return self.router.config
+
+    @property
+    def stats(self) -> ClusterStats:
+        return self.router.stats
+
+    def handle(self, request: DataRequest) -> DataResponse:
+        return self.router._scatter_gather(request)
+
+    def warm(self, request: DataRequest) -> None:
+        self.router._scatter_gather(request)
+
+    def canvas_info(self, canvas_id: str) -> dict[str, Any]:
+        return self.router.canvas_info(canvas_id)
+
+    def layer_density(self, canvas_id: str, layer_index: int) -> float:
+        return self.router.layer_density(canvas_id, layer_index)
+
+    def close(self) -> None:
+        pass
+
+
 class ClusterRouter:
     """Routes data requests across a set of shard backends."""
 
@@ -91,6 +138,7 @@ class ClusterRouter:
         *,
         cluster_config: ClusterConfig | None = None,
         coalescing: bool | None = None,
+        parallel: bool | None = None,
     ) -> None:
         if not shards:
             raise FetchError("a cluster needs at least one shard")
@@ -101,20 +149,38 @@ class ClusterRouter:
         # The effective cluster config may carry per-build overrides; the
         # indexer and router must read the same one.
         cluster_config = cluster_config or self.config.cluster
+        self.cluster_config = cluster_config
         if coalescing is None:
             coalescing = cluster_config.coalescing
+        if parallel is None:
+            parallel = cluster_config.parallel_shards
+        self.parallel = parallel and len(shards) > 1
         cache_entries = (
             cluster_config.router_cache_entries if self.config.cache.enabled else 0
         )
         self.cache: LRUCache[DataResponse] = LRUCache(cache_entries)
-        self.coalescer: RequestCoalescer | None = (
-            RequestCoalescer() if coalescing else None
-        )
         self.stats = ClusterStats()
-        self._cache_lock = threading.Lock()
         # Counter updates are read-modify-write; concurrent sessions are the
         # router's normal traffic, so they must not lose increments.
         self._stats_lock = threading.Lock()
+        # The middleware stack over the scatter-gather core.  ``self.cache``
+        # and ``self.coalescer`` alias the middleware internals so existing
+        # callers (tests, benchmarks) keep their handles.
+        stack = _ScatterGatherService(self)
+        self.coalescer: RequestCoalescer | None = None
+        if coalescing:
+            coalescing_layer = CoalescingService(stack)
+            self.coalescer = coalescing_layer.coalescer
+            stack = coalescing_layer
+        self._stack = CachingService(stack, cache=self.cache)
+        # The scatter executor is created lazily on the first multi-shard
+        # fan-out (many routers are built for single requests or ablations).
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
+        #: Back-reference to the ShardedCluster that built this router
+        #: (set by :func:`repro.cluster.builder.build_cluster`).
+        self.cluster: Any = None
 
     @property
     def shard_count(self) -> int:
@@ -127,48 +193,46 @@ class ClusterRouter:
         with self._stats_lock:
             self.stats.requests += 1
         self._resolve_layer(request)
-        key = request.cache_key()
-        with self._cache_lock:
-            cached = self.cache.get(key)
-        if cached is not None:
+        response = self._stack.handle(request)
+        if response.from_cache:
             with self._stats_lock:
                 self.stats.cache_hits += 1
-            return DataResponse(
-                request=request,
-                objects=cached.objects,
-                query_ms=0.0,
-                from_cache=True,
-                queries_issued=0,
-                shard_ms=dict(cached.shard_ms),
-            )
-
-        if self.coalescer is None:
-            return self._scatter_gather(request)
-        response, follower = self.coalescer.coalesce(
-            key, lambda: self._scatter_gather(request)
-        )
-        if not follower:
-            return response
-        with self._stats_lock:
-            self.stats.coalesced_requests += 1
-        return DataResponse(
-            request=request,
-            objects=response.objects,
-            query_ms=response.query_ms,
-            from_cache=False,
-            queries_issued=0,
-            shard_ms=dict(response.shard_ms),
-            coalesced=True,
-        )
+        elif response.coalesced:
+            with self._stats_lock:
+                self.stats.coalesced_requests += 1
+        return response
 
     def warm(self, request: DataRequest) -> None:
         """Execute a request purely to populate the router cache (prefetch)."""
-        with self._cache_lock:
-            cached = self.cache.peek(request.cache_key())
-        if cached is None:
+        if self.cache.peek(request.cache_key()) is None:
             self.handle(request)
 
+    def close(self) -> None:
+        """Shut down the scatter executor and the shard serving stacks."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=True)
+        for shard in self.shards:
+            shard.close()
+
     # -- scatter-gather ----------------------------------------------------------------
+
+    def _shard_executor(self) -> ThreadPoolExecutor | None:
+        if not self.parallel:
+            return None
+        with self._executor_lock:
+            if self._executor is None and not self._closed:
+                workers = self.cluster_config.max_parallel_shards or self.shard_count
+                self._executor = ThreadPoolExecutor(
+                    max_workers=min(workers, self.shard_count),
+                    thread_name_prefix="kyrix-shard",
+                )
+            return self._executor
+
+    def _query_shard(self, shard_id: int, request: DataRequest) -> DataResponse:
+        return self.shards[shard_id].handle(request.for_shard(shard_id))
 
     def _scatter_gather(self, request: DataRequest) -> DataResponse:
         rect = self.request_rect(request)
@@ -177,36 +241,49 @@ class ClusterRouter:
         with self._stats_lock:
             self.stats.record_scatter(shard_ids)
 
-        merged: dict[Any, dict[str, Any]] = {}
+        executor = self._shard_executor() if len(shard_ids) > 1 else None
+        if executor is not None:
+            futures = [
+                executor.submit(self._query_shard, shard_id, request)
+                for shard_id in shard_ids
+            ]
+            shard_responses = [future.result() for future in futures]
+        else:
+            shard_responses = [
+                self._query_shard(shard_id, request) for shard_id in shard_ids
+            ]
+
+        # Gather in shard-id order (the submission order above), so the
+        # merged object list is deterministic — byte-identical between the
+        # parallel and sequential paths.
         shard_ms: dict[str, float] = {}
         slowest_ms = 0.0
         merge_ms = 0.0
         queries = 0
         received = 0
-        single_shard_objects: list[dict[str, Any]] | None = None
-        for shard_id in shard_ids:
-            shard = self.shards[shard_id]
-            shard_response = shard.handle(request.for_shard(shard_id))
-            shard_ms[f"shard{shard_id}"] = shard_response.query_ms
-            slowest_ms = max(slowest_ms, shard_response.query_ms)
-            queries += shard_response.queries_issued
-            received += len(shard_response.objects)
-            if len(shard_ids) == 1:
-                # Common case (fan-out 1): no replica can appear twice, so
-                # skip the dedup merge entirely.
-                single_shard_objects = shard_response.objects
-                break
-            timer = Timer()
-            timer.start()
-            for obj in shard_response.objects:
-                merged.setdefault(self._identity(obj), obj)
-            merge_ms += timer.stop()
+        if len(shard_ids) == 1:
+            # Common case (fan-out 1): no replica can appear twice, so skip
+            # the dedup merge entirely.
+            only = shard_responses[0]
+            shard_ms[f"shard{shard_ids[0]}"] = only.query_ms
+            slowest_ms = only.query_ms
+            queries = only.queries_issued
+            received = len(only.objects)
+            objects = only.objects
+        else:
+            merged: dict[Any, dict[str, Any]] = {}
+            for shard_id, shard_response in zip(shard_ids, shard_responses):
+                shard_ms[f"shard{shard_id}"] = shard_response.query_ms
+                slowest_ms = max(slowest_ms, shard_response.query_ms)
+                queries += shard_response.queries_issued
+                received += len(shard_response.objects)
+                timer = Timer()
+                timer.start()
+                for obj in shard_response.objects:
+                    merged.setdefault(self._identity(obj), obj)
+                merge_ms += timer.stop()
+            objects = list(merged.values())
 
-        objects = (
-            single_shard_objects
-            if single_shard_objects is not None
-            else list(merged.values())
-        )
         response = DataResponse(
             request=request,
             objects=objects,
@@ -220,8 +297,6 @@ class ClusterRouter:
         with self._stats_lock:
             self.stats.duplicates_removed += received - len(objects)
             self.stats.objects_returned += len(objects)
-        with self._cache_lock:
-            self.cache.put(request.cache_key(), response)
         return response
 
     def request_rect(self, request: DataRequest) -> Rect:
@@ -255,7 +330,7 @@ class ClusterRouter:
 
     def canvas_info(self, canvas_id: str) -> dict[str, Any]:
         """Canvas summary plus the shard regions serving it."""
-        info = self.shards[0].backend.canvas_info(canvas_id)
+        info = self.shards[0].canvas_info(canvas_id)
         info["shards"] = self.partitionings[canvas_id].describe()["regions"]
         return info
 
@@ -266,8 +341,7 @@ class ClusterRouter:
         that stores them — a slight overestimate on heavily straddled data.
         """
         return sum(
-            shard.backend.layer_density(canvas_id, layer_index)
-            for shard in self.shards
+            shard.layer_density(canvas_id, layer_index) for shard in self.shards
         )
 
     def cache_stats(self) -> dict[str, float]:
@@ -278,6 +352,8 @@ class ClusterRouter:
         """Cluster topology: shard row counts and per-canvas regions."""
         return {
             "shard_count": self.shard_count,
+            "parallel": self.parallel,
+            "wire_shards": self.cluster_config.wire_shards,
             "shards": [
                 {
                     "shard_id": shard.shard_id,

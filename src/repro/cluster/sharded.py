@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..compiler.plan import CompiledApplication
 from ..config import ClusterConfig, KyrixConfig
@@ -27,10 +28,22 @@ from ..storage.rtree import Rect
 from ..storage.statistics import SpatialDistribution, sample_spatial_distribution
 from .partitioner import Partitioning, make_partitioner
 
+if TYPE_CHECKING:
+    from ..serving.base import DataService
+
 
 @dataclass
 class ShardHandle:
-    """One shard of the cluster: its database, backend and serving lock."""
+    """One shard of the cluster: its database, backend and serving stack.
+
+    ``service`` is the shard's composed :class:`~repro.serving.base.DataService`
+    (assembled by :func:`repro.cluster.builder.build_cluster`): a
+    :class:`~repro.serving.middleware.SerializedService` guarding the
+    embedded engine, optionally behind a wire-level
+    :class:`~repro.serving.transport.TransportService`.  When no service has
+    been attached (hand-built shards), calls fall back to locking the
+    backend directly.
+    """
 
     shard_id: int
     database: Database
@@ -40,14 +53,36 @@ class ShardHandle:
     #: Serialises queries against this shard's embedded engine so concurrent
     #: sessions can share the cluster (the stand-in for one worker process).
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: The shard's serving stack (set by the cluster builder).
+    service: "DataService | None" = None
 
     @property
     def total_rows(self) -> int:
         return sum(self.rows_by_table.values())
 
     def handle(self, request):
+        if self.service is not None:
+            return self.service.handle(request)
         with self.lock:
             return self.backend.handle(request)
+
+    def canvas_info(self, canvas_id: str):
+        if self.service is not None:
+            return self.service.canvas_info(canvas_id)
+        with self.lock:
+            return self.backend.canvas_info(canvas_id)
+
+    def layer_density(self, canvas_id: str, layer_index: int) -> float:
+        if self.service is not None:
+            return self.service.layer_density(canvas_id, layer_index)
+        with self.lock:
+            return self.backend.layer_density(canvas_id, layer_index)
+
+    def close(self) -> None:
+        if self.service is not None:
+            self.service.close()
+        else:
+            self.backend.close()
 
 
 class ShardedIndexer:

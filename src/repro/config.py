@@ -137,6 +137,20 @@ class ClusterConfig:
     kd_sample_limit:
         Maximum number of object centres sampled per canvas when the KD
         strategy measures the spatial distribution.
+    parallel_shards:
+        When true, multi-shard scatter-gathers execute their shard queries
+        on a thread pool instead of sequentially, so measured wall-clock
+        matches the modelled critical path.  Gathered responses are
+        byte-identical to the sequential path (shard results are merged in
+        shard-id order either way).
+    max_parallel_shards:
+        Size of the scatter-gather thread pool; 0 means one worker per
+        shard.
+    wire_shards:
+        When true, every shard call crosses a wire-level transport
+        (``encode -> decode -> handle -> encode -> decode`` through
+        :mod:`repro.net.protocol`), so shard conversations are exactly what
+        a multi-node deployment would put on the network.
     """
 
     enabled: bool = False
@@ -145,6 +159,9 @@ class ClusterConfig:
     coalescing: bool = True
     router_cache_entries: int = 256
     kd_sample_limit: int = 50_000
+    parallel_shards: bool = True
+    max_parallel_shards: int = 0
+    wire_shards: bool = True
 
     def validate(self) -> None:
         if self.shard_count < 1:
@@ -155,6 +172,8 @@ class ClusterConfig:
             raise KyrixError("router_cache_entries must be non-negative")
         if self.kd_sample_limit < 1:
             raise KyrixError("kd_sample_limit must be >= 1")
+        if self.max_parallel_shards < 0:
+            raise KyrixError("max_parallel_shards must be non-negative")
 
 
 @dataclass

@@ -9,6 +9,7 @@ step), plus percentiles useful for checking the 500 ms interactivity budget.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -112,38 +113,51 @@ def summarize(values: Iterable[float]) -> SummaryStats:
 
 
 class MetricsCollector:
-    """Accumulates :class:`LatencyBreakdown` records for a session or run."""
+    """Accumulates :class:`LatencyBreakdown` records for a session or run.
+
+    Recording is thread-safe: a collector shared by a
+    :class:`~repro.serving.middleware.MetricsService` sees requests from
+    every concurrent session, so appends and counter bumps hold a lock.
+    Readers take a consistent snapshot under the same lock.
+    """
 
     def __init__(self) -> None:
         self._steps: list[LatencyBreakdown] = []
         self.counters: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     # -- recording ----------------------------------------------------------
 
     def record(self, breakdown: LatencyBreakdown) -> None:
         """Append one interaction step's breakdown."""
-        self._steps.append(breakdown)
+        with self._lock:
+            self._steps.append(breakdown)
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment a named counter (cache hits, prefetch issues, ...)."""
-        self.counters[counter] = self.counters.get(counter, 0) + amount
+        with self._lock:
+            self.counters[counter] = self.counters.get(counter, 0) + amount
 
     def reset(self) -> None:
-        self._steps.clear()
-        self.counters.clear()
+        with self._lock:
+            self._steps.clear()
+            self.counters.clear()
 
     # -- reading ------------------------------------------------------------
 
     @property
     def steps(self) -> list[LatencyBreakdown]:
         """The recorded steps, in order."""
-        return list(self._steps)
+        with self._lock:
+            return list(self._steps)
 
     def __len__(self) -> int:
-        return len(self._steps)
+        with self._lock:
+            return len(self._steps)
 
     def total_times(self) -> list[float]:
-        return [step.total_ms for step in self._steps]
+        with self._lock:
+            return [step.total_ms for step in self._steps]
 
     def summary(self) -> SummaryStats:
         """Summary statistics of total per-step response time."""
@@ -158,27 +172,29 @@ class MetricsCollector:
 
     def component_averages(self) -> dict[str, float]:
         """Average of each latency component across steps."""
-        if not self._steps:
+        steps = self.steps
+        if not steps:
             return {"query_ms": 0.0, "network_ms": 0.0, "render_ms": 0.0}
-        n = len(self._steps)
+        n = len(steps)
         return {
-            "query_ms": sum(s.query_ms for s in self._steps) / n,
-            "network_ms": sum(s.network_ms for s in self._steps) / n,
-            "render_ms": sum(s.render_ms for s in self._steps) / n,
+            "query_ms": sum(s.query_ms for s in steps) / n,
+            "network_ms": sum(s.network_ms for s in steps) / n,
+            "render_ms": sum(s.render_ms for s in steps) / n,
         }
 
     def cache_hit_rate(self) -> float:
         """Fraction of steps served entirely from a cache."""
-        if not self._steps:
+        steps = self.steps
+        if not steps:
             return 0.0
-        hits = sum(1 for s in self._steps if s.cache_hit)
-        return hits / len(self._steps)
+        hits = sum(1 for s in steps if s.cache_hit)
+        return hits / len(steps)
 
     def total_requests(self) -> int:
-        return sum(s.requests for s in self._steps)
+        return sum(s.requests for s in self.steps)
 
     def total_objects(self) -> int:
-        return sum(s.objects_fetched for s in self._steps)
+        return sum(s.objects_fetched for s in self.steps)
 
     def total_bytes(self) -> int:
-        return sum(s.bytes_fetched for s in self._steps)
+        return sum(s.bytes_fetched for s in self.steps)

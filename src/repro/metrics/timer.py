@@ -14,6 +14,7 @@ latter.  A response-time measurement is the sum of both components.
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -62,11 +63,14 @@ class VirtualClock:
 
     The clock only moves forward when a component explicitly charges time to
     it via :meth:`advance`.  Nested scopes can be captured with
-    :meth:`checkpoint` / :meth:`since`.
+    :meth:`checkpoint` / :meth:`since`.  Advancing is atomic: a clock shared
+    across threads (e.g. one link charged by parallel shard transports)
+    never loses charges.
     """
 
     def __init__(self) -> None:
         self._now_ms: float = 0.0
+        self._lock = threading.Lock()
 
     @property
     def now_ms(self) -> float:
@@ -77,7 +81,8 @@ class VirtualClock:
         """Charge ``milliseconds`` of simulated latency to the clock."""
         if milliseconds < 0:
             raise ValueError(f"cannot advance the clock by {milliseconds} ms")
-        self._now_ms += milliseconds
+        with self._lock:
+            self._now_ms += milliseconds
 
     def checkpoint(self) -> float:
         """Return an opaque marker for the current simulated time."""

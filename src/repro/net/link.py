@@ -14,6 +14,7 @@ time for data the viewport never shows.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -23,7 +24,12 @@ from ..metrics.timer import VirtualClock
 
 @dataclass
 class LinkStats:
-    """Counters describing traffic over the link."""
+    """Counters describing traffic over the link.
+
+    The counters themselves are plain fields; :class:`SimulatedLink` updates
+    them under its lock so concurrent sessions (and the shard transports of
+    a parallel scatter-gather) never lose increments.
+    """
 
     requests: int = 0
     bytes_transferred: int = 0
@@ -43,6 +49,9 @@ class SimulatedLink:
         self.config.validate()
         self.clock = clock or VirtualClock()
         self.stats = LinkStats()
+        # Traffic accounting is read-modify-write; a link shared by shard
+        # transports is charged from executor threads concurrently.
+        self._lock = threading.Lock()
 
     # -- latency model ------------------------------------------------------------
 
@@ -62,11 +71,16 @@ class SimulatedLink:
     def charge_request(self, payload_bytes: int) -> float:
         """Account one exchange and return its simulated latency (ms)."""
         latency = self.round_trip_ms(payload_bytes)
-        self.stats.requests += 1
-        self.stats.bytes_transferred += payload_bytes + self.config.request_overhead_bytes
-        self.stats.simulated_ms += latency
-        self.clock.advance(latency)
+        with self._lock:
+            self.stats.requests += 1
+            self.stats.bytes_transferred += (
+                payload_bytes + self.config.request_overhead_bytes
+            )
+            self.stats.simulated_ms += latency
+            self.clock.advance(latency)
         if self.config.simulate_delay:
+            # Sleep outside the lock: concurrent shard charges must overlap
+            # their latency, not serialise it.
             time.sleep(latency / 1000.0)
         return latency
 
@@ -75,4 +89,5 @@ class SimulatedLink:
         return object_count * self.config.per_object_bytes
 
     def reset(self) -> None:
-        self.stats.reset()
+        with self._lock:
+            self.stats.reset()

@@ -56,12 +56,31 @@ class DataRequest:
         """The same request addressed to one shard (shard-aware cache key)."""
         return replace(self, shard_id=shard_id)
 
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-serialisable form (what transports put on the wire)."""
+        return asdict(self)
+
     def to_json(self) -> str:
-        return json.dumps(asdict(self), sort_keys=True)
+        return json.dumps(self.to_dict(), sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "DataRequest":
         return cls(**json.loads(text))
+
+
+def _canonical_object(obj: dict[str, Any]) -> dict[str, Any]:
+    """Restore the canonical row representation after a JSON decode.
+
+    Rows are immutable: sequence-valued columns (``bbox``) are tuples in
+    every in-process response, but JSON has no tuple type and decodes them
+    as lists.  Converting them back makes the wire encoding lossless —
+    ``DataResponse.from_json(r.to_json()) == r`` — which the shard
+    transport depends on for parity with in-process calls.
+    """
+    return {
+        name: tuple(value) if isinstance(value, list) else value
+        for name, value in obj.items()
+    }
 
 
 @dataclass
@@ -69,7 +88,10 @@ class DataResponse:
     """A backend -> frontend response carrying placed objects.
 
     Each object is a dictionary of the layer's transform columns plus the
-    placement outputs ``cx``, ``cy`` and ``bbox``.
+    placement outputs ``cx``, ``cy`` and ``bbox``.  The JSON encoding is
+    lossless: decoding restores sequence-valued columns to their canonical
+    tuple form, so a response that crosses the wire compares equal to the
+    in-process original.
     """
 
     request: DataRequest
@@ -109,17 +131,21 @@ class DataResponse:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "DataResponse":
-        data = json.loads(text)
+    def from_dict(cls, data: dict[str, Any]) -> "DataResponse":
+        """Rebuild a response from its decoded JSON dictionary."""
         return cls(
             request=DataRequest(**data["request"]),
-            objects=data["objects"],
+            objects=[_canonical_object(obj) for obj in data["objects"]],
             query_ms=data["query_ms"],
             from_cache=data["from_cache"],
             queries_issued=data.get("queries_issued", 0),
             shard_ms=data.get("shard_ms", {}),
             coalesced=data.get("coalesced", False),
         )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DataResponse":
+        return cls.from_dict(json.loads(text))
 
     def payload_size(self, per_object_bytes: int | None = None) -> int:
         """Estimated serialized size in bytes.

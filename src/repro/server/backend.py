@@ -14,6 +14,15 @@ request names:
 Query time is measured per request (wall clock of the embedded engine plus
 any simulated disk latency) and reported in the response so the frontend can
 break down the interaction latency.
+
+The backend implements the :class:`~repro.serving.base.DataService`
+protocol.  Caching is not hard-wired any more: the raw query path is
+:meth:`KyrixBackend.execute`, and :meth:`KyrixBackend.handle` goes through a
+composed :class:`~repro.serving.middleware.CachingService` (``self.cache``
+is that middleware's LRU cache, kept as a public attribute for
+compatibility).  Pointing frontends directly at a ``KyrixBackend`` still
+works but is deprecated in favour of :func:`repro.serving.build_service`,
+which assembles the full middleware stack from configuration.
 """
 
 from __future__ import annotations
@@ -53,6 +62,44 @@ class BackendStats:
         self.total_query_ms = 0.0
 
 
+class _BackendQueryService:
+    """The cache-free :class:`DataService` core of one backend.
+
+    ``handle`` runs the raw query path (:meth:`KyrixBackend.execute`); the
+    caching middleware composed by :class:`KyrixBackend` sits on top.
+    """
+
+    def __init__(self, backend: "KyrixBackend") -> None:
+        self.backend = backend
+
+    @property
+    def compiled(self) -> CompiledApplication:
+        return self.backend.compiled
+
+    @property
+    def config(self) -> KyrixConfig:
+        return self.backend.config
+
+    @property
+    def stats(self) -> BackendStats:
+        return self.backend.stats
+
+    def handle(self, request: DataRequest) -> DataResponse:
+        return self.backend.execute(request)
+
+    def warm(self, request: DataRequest) -> None:
+        self.backend.execute(request)
+
+    def canvas_info(self, canvas_id: str) -> dict[str, Any]:
+        return self.backend.canvas_info(canvas_id)
+
+    def layer_density(self, canvas_id: str, layer_index: int) -> float:
+        return self.backend.layer_density(canvas_id, layer_index)
+
+    def close(self) -> None:
+        pass
+
+
 class KyrixBackend:
     """Serves viewport data requests for one compiled application."""
 
@@ -62,6 +109,10 @@ class KyrixBackend:
         compiled: CompiledApplication,
         config: KyrixConfig | None = None,
     ) -> None:
+        # Deferred import: repro.serving imports repro.server (cache), so a
+        # module-level import here would be circular.
+        from ..serving.middleware import CachingService
+
         self.database = database
         self.compiled = compiled
         self.config = config or (compiled.spec.config if compiled.spec else KyrixConfig())
@@ -70,6 +121,8 @@ class KyrixBackend:
         cache_entries = self.config.cache.backend_entries if self.config.cache.enabled else 0
         self.cache: LRUCache[DataResponse] = LRUCache(cache_entries)
         self.stats = BackendStats()
+        # The serving stack: caching middleware over the raw query core.
+        self._service = CachingService(_BackendQueryService(self), cache=self.cache)
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -88,19 +141,19 @@ class KyrixBackend:
     def handle(self, request: DataRequest) -> DataResponse:
         """Answer one data request (from cache or from the database)."""
         self.stats.requests += 1
-        layer_plan = self._resolve_layer(request)
-
-        cached = self.cache.get(request.cache_key())
-        if cached is not None:
+        self._resolve_layer(request)
+        response = self._service.handle(request)
+        if response.from_cache:
             self.stats.cache_hits += 1
-            return DataResponse(
-                request=request,
-                objects=cached.objects,
-                query_ms=0.0,
-                from_cache=True,
-                queries_issued=0,
-            )
+        return response
 
+    def execute(self, request: DataRequest) -> DataResponse:
+        """Run the raw query path, bypassing every cache.
+
+        This is the terminal ``handle`` of the backend's serving stack;
+        middleware (caching, transport, metrics) composes on top of it.
+        """
+        layer_plan = self._resolve_layer(request)
         timer = Timer()
         io_checkpoint = self.database.clock.checkpoint()
         timer.start()
@@ -119,7 +172,6 @@ class KyrixBackend:
             from_cache=False,
             queries_issued=queries,
         )
-        self.cache.put(request.cache_key(), response)
         self.stats.queries_issued += queries
         self.stats.objects_returned += len(objects)
         self.stats.total_query_ms += query_ms
@@ -129,6 +181,19 @@ class KyrixBackend:
         """Execute a request purely to populate the backend cache (prefetch)."""
         if self.cache.peek(request.cache_key()) is None:
             self.handle(request)
+
+    def query_service(self) -> "_BackendQueryService":
+        """The backend's cache-free :class:`DataService` core.
+
+        Use this to compose custom middleware stacks (every ``handle`` runs
+        a real query); :meth:`handle` already includes the default caching
+        layer.
+        """
+        return _BackendQueryService(self)
+
+    def close(self) -> None:
+        """Release the backend's serving resources (drops cached responses)."""
+        self.cache.clear()
 
     # -- per-design fetch paths -------------------------------------------------------------
 

@@ -4,14 +4,18 @@ Kyrix "employs both a frontend cache and a backend cache.  If there is a
 cache miss in both, Kyrix backend will talk to the backing DBMS to fetch
 data."  Both caches are LRU over request identities
 (:meth:`repro.net.protocol.DataRequest.cache_key`); the same implementation
-is reused on both sides.
+is reused on both sides, and as the shared router cache of a sharded
+cluster — which concurrent sessions and the parallel scatter-gather
+executor hammer from many threads at once, so every operation (including
+the hit/miss/eviction accounting) is guarded by one lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Generic, Hashable, TypeVar
+from typing import Generic, Hashable, TypeVar
 
 ValueT = TypeVar("ValueT")
 
@@ -47,10 +51,14 @@ class CacheStats:
 
 
 class LRUCache(Generic[ValueT]):
-    """A bounded least-recently-used cache.
+    """A bounded, thread-safe least-recently-used cache.
 
     ``capacity`` of 0 disables caching entirely (every lookup misses), which
-    is how the benchmark harness runs its no-cache ablations.
+    is how the benchmark harness runs its no-cache ablations.  All
+    operations — lookups, inserts, resizes and the stats counters they
+    update — hold the cache's lock, so counter identities
+    (``hits + misses == lookups``, ``inserts - evictions - invalidations ==
+    len``) hold exactly under concurrent use.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -59,6 +67,8 @@ class LRUCache(Generic[ValueT]):
         self._capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[Hashable, ValueT] = OrderedDict()
+        # RLock: the capacity setter evicts while holding the lock.
+        self._lock = threading.RLock()
 
     @property
     def capacity(self) -> int:
@@ -74,55 +84,65 @@ class LRUCache(Generic[ValueT]):
         """
         if capacity < 0:
             raise ValueError(f"cache capacity must be non-negative, got {capacity}")
-        self._capacity = capacity
-        self._evict_to_capacity()
+        with self._lock:
+            self._capacity = capacity
+            self._evict_to_capacity()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> ValueT | None:
         """Return the cached value and refresh its recency, or None."""
-        if key in self._entries:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
 
     def peek(self, key: Hashable) -> ValueT | None:
         """Return the cached value without touching recency or stats."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key: Hashable, value: ValueT) -> None:
         """Insert or refresh an entry, evicting LRU entries if full."""
-        if self._capacity == 0:
-            return
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        with self._lock:
+            if self._capacity == 0:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
             self._entries[key] = value
-            return
-        self._entries[key] = value
-        self.stats.inserts += 1
-        self._evict_to_capacity()
+            self.stats.inserts += 1
+            self._evict_to_capacity()
 
     def _evict_to_capacity(self) -> None:
+        # Caller holds the lock.
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns True when it existed."""
-        if key in self._entries:
-            del self._entries[key]
-            return True
-        return False
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                return True
+            return False
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def keys(self) -> list[Hashable]:
         """Keys from least to most recently used."""
-        return list(self._entries.keys())
+        with self._lock:
+            return list(self._entries.keys())

@@ -1,8 +1,10 @@
 """Flask deployment of the Kyrix backend.
 
 The original Kyrix backend is a web server the browser frontend talks to
-over HTTP; this module exposes the same surface for a
-:class:`~repro.server.backend.KyrixBackend`:
+over HTTP; this module exposes the same surface for any
+:class:`~repro.serving.base.DataService` — a single
+:class:`~repro.server.backend.KyrixBackend`, a sharded cluster router, or a
+full middleware stack from :func:`repro.serving.build_service`:
 
 * ``GET  /app``                         — application / canvas catalogue,
 * ``GET  /canvas/<canvas_id>``          — canvas size and layer summary,
@@ -18,16 +20,19 @@ link instead of HTTP) works without it.
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import asdict, is_dataclass
+from typing import TYPE_CHECKING, Any
 
 from ..errors import KyrixError, ServerError
 from ..net.protocol import DataRequest
-from .backend import KyrixBackend
 from .schemes import DESIGN_MAPPING, DESIGN_SPATIAL
 
+if TYPE_CHECKING:
+    from ..serving.base import DataService
 
-def create_app(backend: KyrixBackend):
-    """Create a Flask application serving ``backend``."""
+
+def create_app(backend: "DataService"):
+    """Create a Flask application serving any :class:`DataService`."""
     try:
         from flask import Flask, jsonify, request
     except ImportError as exc:  # pragma: no cover - flask is installed in CI
@@ -63,16 +68,20 @@ def create_app(backend: KyrixBackend):
 
     @app.get("/stats")
     def stats():
-        return jsonify(
-            {
-                "requests": backend.stats.requests,
-                "cache_hits": backend.stats.cache_hits,
-                "queries_issued": backend.stats.queries_issued,
-                "objects_returned": backend.stats.objects_returned,
-                "total_query_ms": backend.stats.total_query_ms,
-                "cache_hit_rate": backend.cache.stats.hit_rate(),
-            }
-        )
+        # Services expose heterogeneous stats objects (BackendStats,
+        # ClusterStats, middleware counters); serialise whatever this one
+        # carries rather than assuming a single backend.
+        stats_obj = backend.stats
+        if is_dataclass(stats_obj):
+            payload: dict[str, Any] = asdict(stats_obj)
+        elif hasattr(stats_obj, "snapshot"):
+            payload = dict(stats_obj.snapshot())
+        else:
+            payload = {"stats": str(stats_obj)}
+        cache = getattr(backend, "cache", None)
+        if cache is not None:
+            payload["cache_hit_rate"] = cache.stats.hit_rate()
+        return jsonify(payload)
 
     def _tile_params(args: Any) -> DataRequest:
         design = args.get("design", DESIGN_SPATIAL)

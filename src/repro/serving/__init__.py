@@ -1,0 +1,60 @@
+"""The unified serving API: one protocol, composable middleware, one factory.
+
+This package is the explicit form of the seam the paper draws between the
+frontend and the backend serving surface:
+
+* :mod:`repro.serving.base` — the :class:`DataService` protocol
+  (``handle`` / ``warm`` / ``canvas_info`` / ``layer_density`` plus
+  ``compiled`` / ``config`` / ``stats`` / ``close``) and the
+  :class:`ServiceMiddleware` composition primitive,
+* :mod:`repro.serving.middleware` — :class:`CachingService`,
+  :class:`CoalescingService`, :class:`MetricsService` and
+  :class:`SerializedService`, the cross-cutting behaviours previously
+  hard-wired into ``KyrixBackend`` and ``ClusterRouter``,
+* :mod:`repro.serving.transport` — :class:`LocalTransport` /
+  :class:`RemoteBackendStub` / :class:`TransportService`, putting the
+  :mod:`repro.net.protocol` JSON encoding on the shard boundary,
+* :mod:`repro.serving.factory` — :func:`build_service`, the single entry
+  point call sites use instead of assembling stacks by hand.
+
+Quickstart::
+
+    from repro.serving import build_service
+    service = build_service(config, database=database, compiled=compiled)
+    frontend = KyrixFrontend(service, dbox_scheme())
+"""
+
+from .base import DataService, ServiceMiddleware, stack_layers, unwrap
+from .factory import build_service
+from .middleware import (
+    CachingService,
+    CoalescingService,
+    MetricsService,
+    SerializedService,
+    ServiceMetrics,
+)
+from .transport import (
+    LocalTransport,
+    RemoteBackendStub,
+    ShardTransport,
+    TransportError,
+    TransportService,
+)
+
+__all__ = [
+    "CachingService",
+    "CoalescingService",
+    "DataService",
+    "LocalTransport",
+    "MetricsService",
+    "RemoteBackendStub",
+    "SerializedService",
+    "ServiceMetrics",
+    "ServiceMiddleware",
+    "ShardTransport",
+    "TransportError",
+    "TransportService",
+    "build_service",
+    "stack_layers",
+    "unwrap",
+]

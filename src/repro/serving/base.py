@@ -1,0 +1,142 @@
+"""The ``DataService`` protocol: the one serving surface of the system.
+
+The paper separates the frontend from a backend serving surface behind an
+HTTP+JSON protocol.  Everything that can answer
+:class:`~repro.net.protocol.DataRequest` objects — a single
+:class:`~repro.server.backend.KyrixBackend`, a sharded
+:class:`~repro.cluster.router.ClusterRouter`, a wire-level
+:class:`~repro.serving.transport.RemoteBackendStub`, or any middleware
+stacked on top — implements this protocol, so frontends, sessions and the
+benchmark harness never special-case the backend kind.
+
+:class:`ServiceMiddleware` is the composition primitive: a ``DataService``
+wrapping another ``DataService``, forwarding every member by default so a
+concrete middleware only overrides the calls it intercepts.  Stacks are
+plain nesting, e.g.::
+
+    CachingService(CoalescingService(TransportService(backend)))
+
+and :func:`unwrap` walks ``.inner`` links to find a specific layer (or the
+terminal service) inside a composed stack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Protocol, TypeVar, runtime_checkable
+
+if TYPE_CHECKING:
+    from ..compiler.plan import CompiledApplication
+    from ..config import KyrixConfig
+    from ..net.protocol import DataRequest, DataResponse
+
+
+@runtime_checkable
+class DataService(Protocol):
+    """The serving surface every backend, router, stub and middleware exposes.
+
+    ``compiled`` and ``config`` are the metadata frontends bootstrap from;
+    ``stats`` is an implementation-specific counters object (every layer of
+    a stack keeps its own).  ``isinstance(obj, DataService)`` performs a
+    structural check, so existing duck-typed callers keep working.
+    """
+
+    @property
+    def compiled(self) -> "CompiledApplication": ...
+
+    @property
+    def config(self) -> "KyrixConfig": ...
+
+    @property
+    def stats(self) -> Any: ...
+
+    def handle(self, request: "DataRequest") -> "DataResponse":
+        """Answer one data request."""
+        ...
+
+    def warm(self, request: "DataRequest") -> None:
+        """Execute a request purely to populate caches (prefetch path)."""
+        ...
+
+    def canvas_info(self, canvas_id: str) -> dict[str, Any]:
+        """Size and layer summary of a canvas (the frontend's bootstrap call)."""
+        ...
+
+    def layer_density(self, canvas_id: str, layer_index: int) -> float:
+        """Average objects per canvas pixel² for one layer."""
+        ...
+
+    def close(self) -> None:
+        """Release resources (worker pools, transports) held by the service."""
+        ...
+
+
+class ServiceMiddleware:
+    """A ``DataService`` that wraps another and forwards everything.
+
+    Subclasses override only the members they intercept (usually
+    :meth:`handle` and sometimes :meth:`warm` / ``stats``); metadata and
+    lifecycle calls pass straight through to ``inner``.
+    """
+
+    def __init__(self, inner: DataService) -> None:
+        self.inner = inner
+
+    @property
+    def compiled(self) -> "CompiledApplication":
+        return self.inner.compiled
+
+    @property
+    def config(self) -> "KyrixConfig":
+        return self.inner.config
+
+    @property
+    def stats(self) -> Any:
+        return self.inner.stats
+
+    def handle(self, request: "DataRequest") -> "DataResponse":
+        return self.inner.handle(request)
+
+    def warm(self, request: "DataRequest") -> None:
+        self.inner.warm(request)
+
+    def canvas_info(self, canvas_id: str) -> dict[str, Any]:
+        return self.inner.canvas_info(canvas_id)
+
+    def layer_density(self, canvas_id: str, layer_index: int) -> float:
+        return self.inner.layer_density(canvas_id, layer_index)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.inner!r})"
+
+
+ServiceT = TypeVar("ServiceT")
+
+
+def unwrap(service: DataService, kind: type[ServiceT] | None = None) -> ServiceT | None:
+    """Find the first layer of type ``kind`` in a middleware stack.
+
+    Walks ``service`` and its ``.inner`` chain outside-in.  With
+    ``kind=None`` the terminal (innermost) service is returned, which is
+    never ``None``.
+    """
+    current: Any = service
+    while True:
+        if kind is not None and isinstance(current, kind):
+            return current
+        inner = getattr(current, "inner", None)
+        if inner is None:
+            return None if kind is not None else current
+        current = inner
+
+
+def stack_layers(service: DataService) -> list[DataService]:
+    """The stack's layers outside-in, ending at the terminal service."""
+    layers: list[DataService] = []
+    current: Any = service
+    while current is not None:
+        layers.append(current)
+        current = getattr(current, "inner", None)
+    return layers

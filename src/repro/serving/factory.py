@@ -1,0 +1,107 @@
+"""One factory for the whole serving stack: :func:`build_service`.
+
+Call sites used to assemble their serving endpoints by hand — construct a
+:class:`~repro.server.backend.KyrixBackend`, maybe shard it with
+:func:`~repro.cluster.builder.build_cluster`, then duck-type the result into
+frontends.  :func:`build_service` replaces those per-call-site builders:
+give it a configuration plus either a precomputed backend or the raw
+``database``/``compiled`` pair, and it returns one composed
+:class:`~repro.serving.base.DataService` driven entirely by
+``config.cluster`` (sharding, parallel fan-out, wire-level shard calls,
+coalescing) and the keyword overrides.
+
+Direct construction of ``KyrixBackend`` / ``ClusterRouter`` as *frontend
+endpoints* is deprecated in favour of this factory (the constructors keep
+working for one release; building blocks stay public).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import KyrixError
+
+if TYPE_CHECKING:
+    from ..compiler.plan import CompiledApplication
+    from ..config import KyrixConfig
+    from ..server.backend import KyrixBackend
+    from ..storage.database import Database
+    from .base import DataService
+
+
+def build_service(
+    config: "KyrixConfig | None" = None,
+    *,
+    backend: "KyrixBackend | None" = None,
+    database: "Database | None" = None,
+    compiled: "CompiledApplication | None" = None,
+    precompute: bool | None = None,
+    tile_sizes: tuple[int, ...] = (),
+    shard_count: int | None = None,
+    strategy: str | None = None,
+    coalescing: bool | None = None,
+    parallel: bool | None = None,
+    wire_shards: bool | None = None,
+    metrics: bool = False,
+) -> "DataService":
+    """Build the configured serving stack and return its outermost service.
+
+    Parameters
+    ----------
+    config:
+        The application configuration; defaults to the backend's.  The
+        ``config.cluster`` section decides whether the stack is a single
+        cached backend or a sharded scatter-gather cluster.
+    backend:
+        An existing (typically precomputed) backend to serve from.  When
+        omitted, one is built from ``database`` + ``compiled`` and
+        precomputed unless ``precompute=False``.
+    precompute:
+        Force precomputation on or off.  Default: precompute only when the
+        factory constructed the backend itself.
+    tile_sizes:
+        Tile sizes to pre-build tuple–tile mapping tables for.
+    shard_count / strategy / coalescing / parallel / wire_shards:
+        Per-build overrides of the corresponding ``config.cluster`` fields.
+        Passing ``shard_count`` or ``strategy`` turns sharding on even when
+        ``config.cluster.enabled`` is false.
+    metrics:
+        Wrap the stack in a :class:`~repro.serving.middleware.MetricsService`
+        recording per-request latency breakdowns.
+    """
+    from ..server.backend import KyrixBackend
+
+    if backend is None:
+        if database is None or compiled is None:
+            raise KyrixError(
+                "build_service needs either backend=... or database= and compiled=..."
+            )
+        backend = KyrixBackend(database, compiled, config)
+        if precompute is None:
+            precompute = True
+    if precompute:
+        backend.precompute(tile_sizes=tile_sizes)
+    config = config or backend.config
+
+    sharded = config.cluster.enabled or shard_count is not None or strategy is not None
+    if sharded:
+        from ..cluster.builder import build_cluster
+
+        cluster = build_cluster(
+            backend,
+            shard_count=shard_count,
+            strategy=strategy,
+            coalescing=coalescing,
+            parallel=parallel,
+            wire_shards=wire_shards,
+            tile_sizes=tile_sizes,
+        )
+        service: "DataService" = cluster.router
+    else:
+        service = backend
+
+    if metrics:
+        from .middleware import MetricsService
+
+        service = MetricsService(service)
+    return service

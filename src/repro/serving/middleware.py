@@ -1,0 +1,244 @@
+"""Composable middleware over the :class:`~repro.serving.base.DataService` protocol.
+
+These classes are the single home of the cross-cutting serving behaviours
+that used to be hard-wired into :class:`~repro.server.backend.KyrixBackend`
+and :class:`~repro.cluster.router.ClusterRouter`:
+
+* :class:`CachingService` — the LRU response cache (backend cache, router
+  cache and any other layer are all instances of this one middleware),
+* :class:`CoalescingService` — single-flight deduplication of identical
+  in-flight requests from concurrent sessions,
+* :class:`MetricsService` — per-request latency/counter accounting,
+* :class:`SerializedService` — a lock serialising access to a service whose
+  implementation is not thread-safe (one embedded shard engine).
+
+``KyrixBackend`` and ``ClusterRouter`` still exist as facades (deprecated
+as *direct* frontend endpoints — see :func:`repro.serving.build_service`)
+but compose these middleware internally, so the behaviour is defined
+exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from ..metrics.collector import LatencyBreakdown, MetricsCollector
+from ..metrics.timer import Timer
+from ..server.cache import LRUCache
+from .base import DataService, ServiceMiddleware
+
+if TYPE_CHECKING:
+    from ..cluster.coalescer import RequestCoalescer
+    from ..net.protocol import DataRequest, DataResponse
+
+
+class CachingService(ServiceMiddleware):
+    """LRU response caching in front of any :class:`DataService`.
+
+    A cache hit is answered without touching ``inner``: the cached objects
+    are re-wrapped in a fresh :class:`~repro.net.protocol.DataResponse`
+    addressed to the incoming request with ``from_cache=True`` and zero
+    query time (the per-shard timing breakdown of a cached scatter-gather
+    is preserved for attribution).  Responses that were themselves cache
+    hits or coalesced hand-me-downs are not re-inserted.
+    """
+
+    def __init__(
+        self,
+        inner: DataService,
+        *,
+        entries: int | None = None,
+        cache: "LRUCache[DataResponse] | None" = None,
+    ) -> None:
+        super().__init__(inner)
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = LRUCache(0 if entries is None else entries)
+
+    @property
+    def stats(self) -> Any:
+        return self.cache.stats
+
+    def handle(self, request: "DataRequest") -> "DataResponse":
+        from ..net.protocol import DataResponse
+
+        key = request.cache_key()
+        cached = self.cache.get(key)
+        if cached is not None:
+            return DataResponse(
+                request=request,
+                objects=cached.objects,
+                query_ms=0.0,
+                from_cache=True,
+                queries_issued=0,
+                shard_ms=dict(cached.shard_ms),
+            )
+        response = self.inner.handle(request)
+        if not response.from_cache and not response.coalesced:
+            self.cache.put(key, response)
+        return response
+
+    def warm(self, request: "DataRequest") -> None:
+        if self.cache.peek(request.cache_key()) is None:
+            self.handle(request)
+
+
+class CoalescingService(ServiceMiddleware):
+    """Single-flight request coalescing in front of any :class:`DataService`.
+
+    Identical concurrent requests (same cache key) share one ``inner``
+    call: the first becomes the leader, the rest block and receive a copy
+    of the leader's response marked ``coalesced=True`` with
+    ``queries_issued=0`` (they issued no queries of their own).
+    """
+
+    def __init__(
+        self, inner: DataService, *, coalescer: "RequestCoalescer | None" = None
+    ) -> None:
+        super().__init__(inner)
+        if coalescer is None:
+            from ..cluster.coalescer import RequestCoalescer
+
+            coalescer = RequestCoalescer()
+        self.coalescer = coalescer
+
+    @property
+    def stats(self) -> Any:
+        return self.coalescer.stats
+
+    def handle(self, request: "DataRequest") -> "DataResponse":
+        from ..net.protocol import DataResponse
+
+        response, follower = self.coalescer.coalesce(
+            request.cache_key(), lambda: self.inner.handle(request)
+        )
+        if not follower:
+            return response
+        return DataResponse(
+            request=request,
+            objects=response.objects,
+            query_ms=response.query_ms,
+            from_cache=False,
+            queries_issued=0,
+            shard_ms=dict(response.shard_ms),
+            coalesced=True,
+        )
+
+
+class ServiceMetrics:
+    """Thread-safe counters kept by :class:`MetricsService`.
+
+    ``handle_ms_total`` is the *measured* wall-clock spent inside
+    ``handle()`` (middleware and transport included); the collector's
+    breakdowns carry the *modelled* ``query_ms`` — the two stay separate so
+    modelled and measured time are never conflated.
+    """
+
+    def __init__(self) -> None:
+        self.collector = MetricsCollector()
+        self.handle_ms_total: float = 0.0
+        self._lock = threading.Lock()
+
+    def charge_handle_ms(self, elapsed_ms: float) -> None:
+        with self._lock:
+            self.handle_ms_total += elapsed_ms
+
+    @property
+    def requests(self) -> int:
+        return self.collector.counters.get("requests", 0)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.collector.counters.get("cache_hits", 0)
+
+    @property
+    def coalesced(self) -> int:
+        return self.collector.counters.get("coalesced", 0)
+
+    def snapshot(self) -> dict[str, float]:
+        counters: dict[str, float] = dict(self.collector.counters)
+        requests = self.requests
+        counters["handle_ms_total"] = self.handle_ms_total
+        counters["average_handle_ms"] = (
+            self.handle_ms_total / requests if requests else 0.0
+        )
+        counters["average_query_ms"] = self.collector.average_response_ms()
+        return counters
+
+    def reset(self) -> None:
+        self.collector.reset()
+        with self._lock:
+            self.handle_ms_total = 0.0
+
+
+class MetricsService(ServiceMiddleware):
+    """Records one :class:`~repro.metrics.collector.LatencyBreakdown` per request.
+
+    ``query_ms`` of the breakdown is the response's reported (modelled)
+    query time; the measured wall-clock of the whole ``handle`` call
+    (including middleware and transport overhead below this layer) is
+    accumulated separately in ``stats.handle_ms_total``, so modelled and
+    measured time stay distinguishable.
+    """
+
+    def __init__(self, inner: DataService) -> None:
+        super().__init__(inner)
+        self.metrics = ServiceMetrics()
+
+    @property
+    def stats(self) -> ServiceMetrics:
+        return self.metrics
+
+    def handle(self, request: "DataRequest") -> "DataResponse":
+        collector = self.metrics.collector
+        timer = Timer()
+        timer.start()
+        response = self.inner.handle(request)
+        elapsed_ms = timer.stop()
+        collector.record(
+            LatencyBreakdown(
+                query_ms=response.query_ms,
+                cache_hit=response.from_cache,
+                requests=1,
+                objects_fetched=len(response.objects),
+            )
+        )
+        collector.bump("requests")
+        self.metrics.charge_handle_ms(elapsed_ms)
+        if response.from_cache:
+            collector.bump("cache_hits")
+        if response.coalesced:
+            collector.bump("coalesced")
+        return response
+
+
+class SerializedService(ServiceMiddleware):
+    """Serialises every call into a service that is not thread-safe.
+
+    The stand-in for a single-threaded worker process: one embedded shard
+    engine (``KyrixBackend`` over its own database) can be shared by the
+    parallel scatter-gather executor and concurrent sessions as long as a
+    lock covers each call end-to-end.
+    """
+
+    def __init__(self, inner: DataService, *, lock: threading.Lock | None = None) -> None:
+        super().__init__(inner)
+        self.lock = lock or threading.Lock()
+
+    def handle(self, request: "DataRequest") -> "DataResponse":
+        with self.lock:
+            return self.inner.handle(request)
+
+    def warm(self, request: "DataRequest") -> None:
+        with self.lock:
+            self.inner.warm(request)
+
+    def canvas_info(self, canvas_id: str) -> dict[str, Any]:
+        with self.lock:
+            return self.inner.canvas_info(canvas_id)
+
+    def layer_density(self, canvas_id: str, layer_index: int) -> float:
+        with self.lock:
+            return self.inner.layer_density(canvas_id, layer_index)

@@ -1,0 +1,234 @@
+"""Wire-level transport for the serving surface.
+
+The router used to call shard backends in-process with live Python objects;
+nothing guaranteed the :mod:`repro.net.protocol` JSON encoding could carry
+a shard conversation losslessly.  This module puts the protocol on the
+shard boundary for real:
+
+* :class:`LocalTransport` — the server side of the wire: it accepts an
+  encoded *envelope* (operation name + JSON params), decodes it, dispatches
+  to a server-side :class:`~repro.serving.base.DataService`, and returns the
+  encoded reply.  It is the in-process stand-in for an HTTP endpoint — the
+  bytes that cross it are exactly the bytes a remote deployment would send.
+* :class:`RemoteBackendStub` — the client side: a :class:`DataService`
+  whose every call is encoded, pushed through a transport, and decoded
+  back.  Point it at a :class:`LocalTransport` for wire-faithful in-process
+  shards today, or at a socket/HTTP transport for a multi-node deployment
+  tomorrow; the router cannot tell the difference.
+* :class:`TransportService` — middleware gluing the two together around an
+  inner service, so ``TransportService(shard)`` makes every shard call
+  round-trip ``encode -> decode -> handle -> encode -> decode``.
+
+An optional :class:`~repro.net.link.SimulatedLink` charges each envelope's
+measured byte size, so shard-boundary traffic shows up in link statistics
+(and, with ``simulate_delay``, as real wall-clock latency the parallel
+scatter-gather then overlaps across shards).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+from ..errors import FetchError, KyrixError
+from ..net.protocol import DataRequest, DataResponse
+from .base import DataService, ServiceMiddleware
+
+if TYPE_CHECKING:
+    from ..compiler.plan import CompiledApplication
+    from ..config import KyrixConfig
+    from ..net.link import SimulatedLink
+
+
+@runtime_checkable
+class ShardTransport(Protocol):
+    """One request/reply exchange of encoded payloads."""
+
+    def roundtrip(self, payload: str) -> str:
+        """Send one encoded envelope, return the encoded reply."""
+        ...
+
+    def close(self) -> None: ...
+
+
+def encode_envelope(op: str, params: dict[str, Any]) -> str:
+    """Encode one operation envelope (the transport's request payload)."""
+    return json.dumps({"op": op, "params": params}, sort_keys=True)
+
+
+def encode_reply(result: Any) -> str:
+    """Encode a successful reply."""
+    return json.dumps({"ok": True, "result": result}, sort_keys=True)
+
+
+def splice_reply(result_json: str) -> str:
+    """Encode a successful reply around an already-encoded result.
+
+    ``result_json`` must be valid JSON text (e.g. ``DataResponse.to_json()``
+    output); splicing it verbatim keeps the hot path at exactly one encode
+    on the server and one decode on the client instead of re-parsing the
+    payload just to nest it.
+    """
+    return f'{{"ok": true, "result": {result_json}}}'
+
+
+def encode_error(error: BaseException) -> str:
+    """Encode a server-side failure so the stub can re-raise it."""
+    return json.dumps(
+        {"ok": False, "error": {"type": type(error).__name__, "message": str(error)}},
+        sort_keys=True,
+    )
+
+
+class TransportError(KyrixError):
+    """A server-side error re-raised on the client side of a transport."""
+
+
+class LocalTransport:
+    """The server end of the wire, dispatching envelopes to a service.
+
+    Every operation crosses as JSON text both ways — responses are produced
+    with :meth:`DataResponse.to_json` and never leak live objects, which is
+    what makes the pair wire-faithful.
+    """
+
+    def __init__(self, service: DataService) -> None:
+        self.service = service
+
+    def roundtrip(self, payload: str) -> str:
+        try:
+            envelope = json.loads(payload)
+            op = envelope["op"]
+            params = envelope.get("params", {})
+            if op == "handle":
+                # Hot path: one decode (the envelope) and one encode (the
+                # response), spliced into the reply frame verbatim.
+                request = DataRequest(**params["request"])
+                return splice_reply(self.service.handle(request).to_json())
+            return encode_reply(self._dispatch(op, params))
+        except Exception as error:  # noqa: BLE001 - faults must cross the wire
+            return encode_error(error)
+
+    def _dispatch(self, op: str, params: dict[str, Any]) -> Any:
+        if op == "warm":
+            self.service.warm(DataRequest(**params["request"]))
+            return None
+        if op == "canvas_info":
+            return self.service.canvas_info(params["canvas_id"])
+        if op == "layer_density":
+            return self.service.layer_density(
+                params["canvas_id"], params["layer_index"]
+            )
+        raise FetchError(f"unknown transport operation {op!r}")
+
+    def close(self) -> None:
+        self.service.close()
+
+
+class RemoteBackendStub:
+    """A :class:`DataService` whose calls travel over a :class:`ShardTransport`.
+
+    ``compiled`` and ``config`` are client-side metadata handed to the stub
+    at construction (a remote deployment ships the compiled plan to every
+    node; re-sending it per request would be absurd).  Everything else —
+    requests, responses, canvas metadata — crosses the transport encoded.
+    """
+
+    def __init__(
+        self,
+        transport: ShardTransport,
+        compiled: "CompiledApplication",
+        config: "KyrixConfig",
+        *,
+        link: "SimulatedLink | None" = None,
+    ) -> None:
+        self.transport = transport
+        self._compiled = compiled
+        self._config = config
+        self.link = link
+
+    @property
+    def compiled(self) -> "CompiledApplication":
+        return self._compiled
+
+    @property
+    def config(self) -> "KyrixConfig":
+        return self._config
+
+    @property
+    def stats(self) -> Any:
+        return self.link.stats if self.link is not None else None
+
+    # -- the wire ---------------------------------------------------------------------
+
+    def _call(self, op: str, params: dict[str, Any]) -> Any:
+        payload = encode_envelope(op, params)
+        reply_text = self.transport.roundtrip(payload)
+        if self.link is not None:
+            # Charge the measured byte size of the reply (the request side
+            # is covered by the link's per-request overhead term).
+            self.link.charge_request(len(reply_text.encode("utf-8")))
+        reply = json.loads(reply_text)
+        if not reply.get("ok", False):
+            error = reply.get("error", {})
+            raise TransportError(
+                f"{error.get('type', 'Error')}: {error.get('message', 'remote failure')}"
+            )
+        return reply["result"]
+
+    # -- DataService ------------------------------------------------------------------
+
+    def handle(self, request: DataRequest) -> DataResponse:
+        result = self._call("handle", {"request": request.to_dict()})
+        return DataResponse.from_dict(result)
+
+    def warm(self, request: DataRequest) -> None:
+        self._call("warm", {"request": request.to_dict()})
+
+    def canvas_info(self, canvas_id: str) -> dict[str, Any]:
+        return self._call("canvas_info", {"canvas_id": canvas_id})
+
+    def layer_density(self, canvas_id: str, layer_index: int) -> float:
+        return float(
+            self._call(
+                "layer_density", {"canvas_id": canvas_id, "layer_index": layer_index}
+            )
+        )
+
+    def close(self) -> None:
+        self.transport.close()
+
+
+class TransportService(ServiceMiddleware):
+    """Middleware making every call to ``inner`` wire-faithful.
+
+    Composes a :class:`LocalTransport` (server side) and a
+    :class:`RemoteBackendStub` (client side) around the inner service; a
+    call entering this layer is encoded, decoded, served, re-encoded and
+    re-decoded — byte-for-byte what a networked shard would do.
+    """
+
+    def __init__(
+        self, inner: DataService, *, link: "SimulatedLink | None" = None
+    ) -> None:
+        super().__init__(inner)
+        self.transport = LocalTransport(inner)
+        self.stub = RemoteBackendStub(
+            self.transport, inner.compiled, inner.config, link=link
+        )
+
+    @property
+    def stats(self) -> Any:
+        return self.stub.stats
+
+    def handle(self, request: DataRequest) -> DataResponse:
+        return self.stub.handle(request)
+
+    def warm(self, request: DataRequest) -> None:
+        self.stub.warm(request)
+
+    def canvas_info(self, canvas_id: str) -> dict[str, Any]:
+        return self.stub.canvas_info(canvas_id)
+
+    def layer_density(self, canvas_id: str, layer_index: int) -> float:
+        return self.stub.layer_density(canvas_id, layer_index)

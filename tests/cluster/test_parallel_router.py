@@ -1,0 +1,210 @@
+"""Parallel scatter-gather parity: thread-pool and sequential routers agree.
+
+The acceptance bar of the parallel rework: on the usmap and EEG parity
+stacks, at 2 and 4 shards, a router executing shard queries on its thread
+pool returns **byte-identical** object payloads to a sequential router built
+from the same backend — and both match the unsharded backend.  Shard calls
+cross the wire transport in the parallel cluster (the default build), so
+the comparison also covers JSON encode/decode on the shard boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.net.protocol import DataRequest
+from repro.server.schemes import DESIGN_MAPPING, DESIGN_SPATIAL
+from repro.server.tile import TileScheme
+
+
+def _payload_bytes(response) -> bytes:
+    return json.dumps(response.objects, sort_keys=True).encode("utf-8")
+
+
+def _all_requests(stack):
+    requests = []
+    for canvas_id, layer_index, tile_size in stack.canvases:
+        plan = stack.backend.compiled.canvas_plan(canvas_id)
+        scheme = TileScheme(plan.width, plan.height, tile_size)
+        for design in (DESIGN_SPATIAL, DESIGN_MAPPING):
+            for tile_id in range(scheme.tile_count):
+                requests.append(
+                    DataRequest(
+                        app_name=stack.app_name,
+                        canvas_id=canvas_id,
+                        layer_index=layer_index,
+                        granularity="tile",
+                        design=design,
+                        tile_id=tile_id,
+                        tile_size=tile_size,
+                    )
+                )
+    for canvas_id, layer_index, (xmin, ymin, xmax, ymax) in stack.boxes:
+        requests.append(
+            DataRequest(
+                app_name=stack.app_name,
+                canvas_id=canvas_id,
+                layer_index=layer_index,
+                granularity="box",
+                design=DESIGN_SPATIAL,
+                xmin=xmin,
+                ymin=ymin,
+                xmax=xmax,
+                ymax=ymax,
+            )
+        )
+    return requests
+
+
+@pytest.mark.parametrize("stack_fixture", ["usmap_parity_stack", "eeg_parity_stack"])
+@pytest.mark.parametrize("shard_count", [2, 4])
+def test_parallel_router_is_byte_identical_to_sequential(
+    request, stack_fixture, shard_count
+):
+    stack = request.getfixturevalue(stack_fixture)
+    tile_sizes = tuple(sorted({tile_size for _, _, tile_size in stack.canvases}))
+    parallel = build_cluster(
+        stack.backend, shard_count=shard_count, tile_sizes=tile_sizes
+    )
+    sequential = build_cluster(
+        stack.backend,
+        shard_count=shard_count,
+        tile_sizes=tile_sizes,
+        parallel=False,
+        wire_shards=False,
+    )
+    try:
+        assert parallel.router.parallel is True
+        assert sequential.router.parallel is False
+        compared = 0
+        saw_fanout = False
+        for data_request in _all_requests(stack):
+            par = parallel.router.handle(data_request)
+            seq = sequential.router.handle(data_request)
+            assert _payload_bytes(par) == _payload_bytes(seq), (
+                f"parallel/sequential payloads diverged for {data_request}"
+            )
+            single = stack.backend.handle(data_request)
+            assert sorted(o["tuple_id"] for o in par.objects) == sorted(
+                o["tuple_id"] for o in single.objects
+            )
+            saw_fanout = saw_fanout or len(par.shard_ms) > 1
+            compared += 1
+        assert compared > 0
+        assert saw_fanout, "the parity suite never exercised a multi-shard fan-out"
+    finally:
+        parallel.close()
+        sequential.close()
+
+
+def test_parallel_router_under_concurrent_sessions(usmap_parity_stack):
+    """Concurrent sessions through one parallel router lose no data or stats."""
+    stack = usmap_parity_stack
+    cluster = build_cluster(stack.backend, shard_count=4)
+    try:
+        requests = [
+            r for r in _all_requests(stack) if r.granularity == "box"
+        ] or _all_requests(stack)[:4]
+        expected = {
+            req.cache_key(): sorted(
+                o["tuple_id"] for o in stack.backend.handle(req).objects
+            )
+            for req in requests
+        }
+        threads = 6
+        rounds = 5
+        barrier = threading.Barrier(threads)
+        errors: list[BaseException] = []
+
+        def worker(index):
+            try:
+                barrier.wait()
+                for _ in range(rounds):
+                    for req in requests:
+                        response = cluster.router.handle(req)
+                        got = sorted(o["tuple_id"] for o in response.objects)
+                        assert got == expected[req.cache_key()]
+            except BaseException as error:
+                errors.append(error)
+
+        pool = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert not errors, errors[0]
+        # No lost increments: every handle() call was counted.
+        assert cluster.router.stats.requests == threads * rounds * len(requests)
+        # Every request after the first per key is a cache hit or coalesced.
+        stats = cluster.router.stats
+        assert stats.cache_hits + stats.coalesced_requests + stats.scatter_gathers == (
+            stats.requests
+        )
+    finally:
+        cluster.close()
+
+
+def test_executor_is_lazy_and_close_is_idempotent(usmap_parity_stack):
+    stack = usmap_parity_stack
+    cluster = build_cluster(stack.backend, shard_count=2)
+    try:
+        router = cluster.router
+        assert router._executor is None
+        # A fan-out 1 request does not spin up the pool.
+        region = cluster.partitionings["statemap"].regions[0].rect
+        small = DataRequest(
+            app_name=stack.app_name,
+            canvas_id="statemap",
+            layer_index=0,
+            granularity="box",
+            xmin=region.xmin + 1.0,
+            ymin=region.ymin + 1.0,
+            xmax=region.xmin + 4.0,
+            ymax=region.ymin + 4.0,
+        )
+        router.handle(small)
+        assert router._executor is None
+        # A full-canvas box fans out and creates it.
+        plan = stack.backend.compiled.canvas_plan("statemap")
+        wide = DataRequest(
+            app_name=stack.app_name,
+            canvas_id="statemap",
+            layer_index=0,
+            granularity="box",
+            xmin=0.0,
+            ymin=0.0,
+            xmax=plan.width,
+            ymax=plan.height,
+        )
+        response = router.handle(wide)
+        assert len(response.shard_ms) == 2
+        assert router._executor is not None
+    finally:
+        cluster.close()
+        cluster.close()  # idempotent
+
+
+def test_sequential_config_never_creates_an_executor(usmap_parity_stack):
+    stack = usmap_parity_stack
+    cluster = build_cluster(stack.backend, shard_count=2, parallel=False)
+    try:
+        plan = stack.backend.compiled.canvas_plan("statemap")
+        wide = DataRequest(
+            app_name=stack.app_name,
+            canvas_id="statemap",
+            layer_index=0,
+            granularity="box",
+            xmin=0.0,
+            ymin=0.0,
+            xmax=plan.width,
+            ymax=plan.height,
+        )
+        response = cluster.router.handle(wide)
+        assert len(response.shard_ms) == 2
+        assert cluster.router._executor is None
+    finally:
+        cluster.close()

@@ -1,0 +1,180 @@
+"""Property-based tests for the wire protocol's lossless JSON encoding.
+
+The shard transport (``repro.serving.transport``) depends on
+``DataRequest``/``DataResponse`` surviving encode -> decode unchanged —
+including the cluster-era fields ``shard_id`` and ``shard_ms`` — and on
+``cache_key`` being stable across the wire (shard caches on the far side of
+a transport must key exactly like in-process ones).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.protocol import DataRequest, DataResponse
+
+# -- strategies -------------------------------------------------------------------
+
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "Nd"), max_codepoint=0x2FF),
+    min_size=1,
+    max_size=12,
+)
+_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_shard_ids = st.one_of(st.none(), st.integers(min_value=0, max_value=63))
+
+
+@st.composite
+def tile_requests(draw):
+    return DataRequest(
+        app_name=draw(_names),
+        canvas_id=draw(_names),
+        layer_index=draw(st.integers(min_value=0, max_value=7)),
+        granularity="tile",
+        design=draw(st.sampled_from(["spatial", "mapping"])),
+        tile_id=draw(st.integers(min_value=0, max_value=10_000)),
+        tile_size=draw(st.sampled_from([256, 512, 1024, 4096])),
+        shard_id=draw(_shard_ids),
+    )
+
+
+@st.composite
+def box_requests(draw):
+    return DataRequest(
+        app_name=draw(_names),
+        canvas_id=draw(_names),
+        layer_index=draw(st.integers(min_value=0, max_value=7)),
+        granularity="box",
+        design="spatial",
+        xmin=draw(_floats),
+        ymin=draw(_floats),
+        xmax=draw(_floats),
+        ymax=draw(_floats),
+        shard_id=draw(_shard_ids),
+    )
+
+
+requests = st.one_of(tile_requests(), box_requests())
+
+# Object values in canonical row form: scalars plus tuples (never lists —
+# JSON decoding restores sequences as tuples).
+_scalar = st.one_of(
+    st.integers(min_value=-(2**53), max_value=2**53),
+    _floats,
+    _names,
+    st.booleans(),
+    st.none(),
+)
+_value = st.one_of(_scalar, st.tuples(_floats, _floats, _floats, _floats))
+_objects = st.lists(
+    st.dictionaries(_names, _value, min_size=0, max_size=5), min_size=0, max_size=5
+)
+
+
+@st.composite
+def responses(draw):
+    request = draw(requests)
+    shard_ms = draw(
+        st.dictionaries(
+            st.from_regex(r"shard[0-9]{1,2}", fullmatch=True),
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            max_size=8,
+        )
+    )
+    return DataResponse(
+        request=request,
+        objects=draw(_objects),
+        query_ms=draw(st.floats(min_value=0, max_value=1e9, allow_nan=False)),
+        from_cache=draw(st.booleans()),
+        queries_issued=draw(st.integers(min_value=0, max_value=1000)),
+        shard_ms=shard_ms,
+        coalesced=draw(st.booleans()),
+    )
+
+
+# -- request properties -----------------------------------------------------------
+
+
+class TestDataRequestRoundTrip:
+    @given(requests)
+    @settings(max_examples=150, deadline=None)
+    def test_json_roundtrip_is_identity(self, request):
+        assert DataRequest.from_json(request.to_json()) == request
+
+    @given(requests)
+    @settings(max_examples=150, deadline=None)
+    def test_cache_key_stable_across_the_wire(self, request):
+        decoded = DataRequest.from_json(request.to_json())
+        assert decoded.cache_key() == request.cache_key()
+
+    @given(requests)
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_is_canonical(self, request):
+        # encode -> decode -> encode is byte-stable (sort_keys canonical form).
+        once = request.to_json()
+        assert DataRequest.from_json(once).to_json() == once
+
+    @given(requests, st.integers(min_value=0, max_value=63))
+    @settings(max_examples=100, deadline=None)
+    def test_shard_stamping_changes_the_cache_key(self, request, shard_id):
+        stamped = request.for_shard(shard_id)
+        assert stamped.shard_id == shard_id
+        if request.shard_id != shard_id:
+            assert stamped.cache_key() != request.cache_key()
+        # Stamping survives the wire too.
+        assert (
+            DataRequest.from_json(stamped.to_json()).cache_key()
+            == stamped.cache_key()
+        )
+
+
+# -- response properties ----------------------------------------------------------
+
+
+class TestDataResponseRoundTrip:
+    @given(responses())
+    @settings(max_examples=150, deadline=None)
+    def test_json_roundtrip_is_identity(self, response):
+        decoded = DataResponse.from_json(response.to_json())
+        assert decoded == response
+
+    @given(responses())
+    @settings(max_examples=100, deadline=None)
+    def test_shard_fields_survive(self, response):
+        decoded = DataResponse.from_json(response.to_json())
+        assert decoded.shard_ms == response.shard_ms
+        assert decoded.request.shard_id == response.request.shard_id
+        assert decoded.coalesced == response.coalesced
+        assert decoded.queries_issued == response.queries_issued
+
+    @given(responses())
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_is_canonical(self, response):
+        once = response.to_json()
+        assert DataResponse.from_json(once).to_json() == once
+
+    @given(responses())
+    @settings(max_examples=100, deadline=None)
+    def test_payload_size_matches_exact_encoding(self, response):
+        assert response.payload_size() == len(response.to_json().encode("utf-8"))
+
+    @given(_objects)
+    @settings(max_examples=100, deadline=None)
+    def test_objects_decode_to_canonical_tuples(self, objects):
+        encoded = json.dumps(objects)
+        decoded = DataResponse.from_json(
+            DataResponse(
+                request=DataRequest(
+                    app_name="a", canvas_id="c", layer_index=0, granularity="box",
+                    xmin=0.0, ymin=0.0, xmax=1.0, ymax=1.0,
+                ),
+                objects=json.loads(encoded),
+            ).to_json()
+        )
+        for original, roundtripped in zip(objects, decoded.objects):
+            assert roundtripped == {
+                name: tuple(value) if isinstance(value, list) else value
+                for name, value in original.items()
+            }

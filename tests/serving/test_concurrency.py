@@ -1,0 +1,132 @@
+"""Thread-safety regressions: cache, link and clock accounting under load.
+
+Before the serving redesign, ``LRUCache`` and ``SimulatedLink`` updated
+their counters without locks; concurrent sessions (the cluster's normal
+traffic) silently lost increments.  These tests hammer the shared objects
+from many threads and assert the counter identities hold *exactly* — a
+single lost update fails them.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.metrics.timer import VirtualClock
+from repro.net.link import SimulatedLink
+from repro.server.cache import LRUCache
+from repro.serving import CachingService, SerializedService
+
+
+THREADS = 8
+ROUNDS = 400
+
+
+def _hammer(worker, threads=THREADS):
+    barrier = threading.Barrier(threads)
+    errors: list[BaseException] = []
+
+    def run(index):
+        try:
+            barrier.wait()
+            worker(index)
+        except BaseException as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    pool = [threading.Thread(target=run, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors, errors[0]
+
+
+class TestLRUCacheConcurrency:
+    def test_hit_miss_accounting_is_exact(self):
+        cache: LRUCache[int] = LRUCache(capacity=32)
+
+        def worker(index):
+            for round_ in range(ROUNDS):
+                key = (index * ROUNDS + round_) % 48  # more keys than capacity
+                if cache.get(key) is None:
+                    cache.put(key, round_)
+
+        _hammer(worker)
+        lookups = THREADS * ROUNDS
+        assert cache.stats.hits + cache.stats.misses == lookups
+        assert len(cache) <= 32
+        # Every insert either still resides in the cache or was evicted.
+        assert cache.stats.inserts - cache.stats.evictions == len(cache)
+
+    def test_concurrent_resize_keeps_capacity_invariant(self):
+        cache: LRUCache[int] = LRUCache(capacity=64)
+
+        def worker(index):
+            for round_ in range(ROUNDS):
+                cache.put((index, round_), round_)
+                if round_ % 97 == 0:
+                    cache.capacity = 16 + (round_ % 3) * 16
+        _hammer(worker)
+        assert len(cache) <= cache.capacity
+        assert cache.stats.inserts - cache.stats.evictions == len(cache)
+
+
+class TestSimulatedLinkConcurrency:
+    def test_traffic_counters_are_exact(self):
+        link = SimulatedLink(NetworkConfig(rtt_ms=1.0, bandwidth_mbps=1000.0))
+        payload = 1024
+
+        def worker(index):
+            for _ in range(ROUNDS):
+                link.charge_request(payload)
+
+        _hammer(worker)
+        total = THREADS * ROUNDS
+        assert link.stats.requests == total
+        assert link.stats.bytes_transferred == total * (
+            payload + link.config.request_overhead_bytes
+        )
+        expected_ms = link.round_trip_ms(payload) * total
+        assert link.stats.simulated_ms == pytest.approx(expected_ms)
+        # The virtual clock saw every charge, too.
+        assert link.clock.now_ms == pytest.approx(expected_ms)
+
+
+class TestVirtualClockConcurrency:
+    def test_advances_never_lost(self):
+        clock = VirtualClock()
+
+        def worker(index):
+            for _ in range(ROUNDS):
+                clock.advance(0.25)
+
+        _hammer(worker)
+        assert clock.now_ms == pytest.approx(0.25 * THREADS * ROUNDS)
+
+
+class TestConcurrentSessionsThroughSharedStack:
+    def test_shared_caching_service_accounts_every_request(self, dots_stack, box_request):
+        """The satellite regression: concurrent sessions over one shared stack."""
+        backend = dots_stack.backend
+        backend.cache.clear()
+        backend.cache.stats.reset()
+        shared = CachingService(
+            SerializedService(backend.query_service()), entries=64
+        )
+        responses_per_thread = 50
+
+        def worker(index):
+            for _ in range(responses_per_thread):
+                response = shared.handle(box_request)
+                assert response.objects, "shared stack returned an empty payload"
+
+        _hammer(worker)
+        lookups = THREADS * responses_per_thread
+        stats = shared.cache.stats
+        assert stats.hits + stats.misses == lookups
+        # At least one miss (the first fetch); at most one fetch per thread
+        # can race past the cache before the first insert lands.
+        assert 1 <= stats.misses <= THREADS
+        assert stats.hits >= lookups - THREADS

@@ -1,0 +1,216 @@
+"""The DataService protocol, the middleware stack and the build_service factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.apps import build_dots_backend, default_config
+from repro.cluster import ClusterRouter, build_cluster
+from repro.client import ExplorationSession, KyrixFrontend
+from repro.datagen.synthetic import tiny_spec
+from repro.errors import KyrixError
+from repro.serving import (
+    CachingService,
+    CoalescingService,
+    DataService,
+    MetricsService,
+    SerializedService,
+    TransportService,
+    build_service,
+    stack_layers,
+    unwrap,
+)
+
+
+class TestProtocol:
+    def test_every_serving_endpoint_satisfies_the_protocol(self, dots_stack):
+        backend = dots_stack.backend
+        cluster = build_cluster(backend, shard_count=2)
+        try:
+            endpoints = [
+                backend,
+                cluster.router,
+                CachingService(backend, entries=4),
+                CoalescingService(backend),
+                MetricsService(backend),
+                SerializedService(backend),
+                TransportService(backend),
+            ]
+            for endpoint in endpoints:
+                assert isinstance(endpoint, DataService), type(endpoint).__name__
+        finally:
+            cluster.close()
+
+    def test_middleware_forwards_metadata(self, dots_stack):
+        stacked = MetricsService(CachingService(dots_stack.backend, entries=4))
+        assert stacked.compiled is dots_stack.backend.compiled
+        assert stacked.config is dots_stack.backend.config
+        info = stacked.canvas_info("dots")
+        assert info["canvas_id"] == "dots"
+        assert stacked.layer_density("dots", 0) == dots_stack.backend.layer_density(
+            "dots", 0
+        )
+
+    def test_unwrap_and_stack_layers(self, dots_stack):
+        caching = CachingService(dots_stack.backend, entries=4)
+        outer = MetricsService(caching)
+        assert unwrap(outer, CachingService) is caching
+        assert unwrap(outer, MetricsService) is outer
+        assert unwrap(outer) is dots_stack.backend
+        assert stack_layers(outer) == [outer, caching, dots_stack.backend]
+        assert unwrap(outer, TransportService) is None
+
+
+class TestCachingService:
+    def test_hit_returns_fresh_response_with_cached_objects(self, dots_stack, box_request):
+        service = CachingService(dots_stack.backend.query_service(), entries=8)
+        first = service.handle(box_request)
+        assert first.from_cache is False
+        second = service.handle(box_request)
+        assert second.from_cache is True
+        assert second.query_ms == 0.0
+        assert second.queries_issued == 0
+        assert second.objects == first.objects
+        assert service.cache.stats.hits == 1
+
+    def test_zero_entries_disables_caching(self, dots_stack, box_request):
+        service = CachingService(dots_stack.backend.query_service(), entries=0)
+        assert service.handle(box_request).from_cache is False
+        assert service.handle(box_request).from_cache is False
+        assert service.cache.stats.hits == 0
+
+    def test_warm_populates_without_double_fetch(self, dots_stack, box_request):
+        service = CachingService(dots_stack.backend.query_service(), entries=8)
+        service.warm(box_request)
+        assert service.cache.stats.inserts == 1
+        service.warm(box_request)
+        assert service.cache.stats.inserts == 1
+        assert service.handle(box_request).from_cache is True
+
+
+class TestMetricsService:
+    def test_records_requests_and_hits(self, dots_stack, box_request):
+        service = MetricsService(CachingService(dots_stack.backend.query_service(), entries=8))
+        service.handle(box_request)
+        service.handle(box_request)
+        assert service.metrics.requests == 2
+        assert service.metrics.cache_hits == 1
+        assert len(service.metrics.collector) == 2
+        snapshot = service.metrics.snapshot()
+        assert snapshot["requests"] == 2
+        # Measured wall-clock of handle(): strictly positive and in ms
+        # (two sub-second calls can never sum past a minute).
+        assert 0.0 < snapshot["handle_ms_total"] < 60_000.0
+        assert snapshot["average_handle_ms"] == pytest.approx(
+            snapshot["handle_ms_total"] / 2
+        )
+        # Modelled query time is reported separately from measured time.
+        assert "average_query_ms" in snapshot
+        service.metrics.reset()
+        assert service.metrics.snapshot()["handle_ms_total"] == 0.0
+
+
+class TestBackendFacade:
+    def test_handle_composes_caching_middleware(self, dots_stack, box_request):
+        backend = dots_stack.backend
+        backend.cache.clear()
+        backend.cache.stats.reset()
+        before = backend.stats.requests
+        fresh = backend.handle(box_request)
+        hit = backend.handle(box_request)
+        assert fresh.from_cache is False
+        assert hit.from_cache is True
+        assert backend.stats.requests == before + 2
+        # The public cache attribute IS the middleware's cache.
+        caching = unwrap(backend._service, CachingService)
+        assert caching.cache is backend.cache
+
+    def test_execute_bypasses_the_cache(self, dots_stack, box_request):
+        backend = dots_stack.backend
+        backend.handle(box_request)  # populate
+        raw = backend.execute(box_request)
+        assert raw.from_cache is False
+
+
+class TestBuildService:
+    def test_single_backend_when_cluster_disabled(self, dots_stack):
+        service = build_service(dots_stack.backend.config, backend=dots_stack.backend)
+        assert service is dots_stack.backend
+
+    def test_cluster_router_when_enabled(self):
+        spec = tiny_spec("uniform", num_points=1_000, seed=5)
+        config = default_config(viewport=512)
+        config.cluster.enabled = True
+        config.cluster.shard_count = 2
+        stack = build_dots_backend(spec, config=config)
+        router = unwrap(stack.service, ClusterRouter)
+        assert router is not None
+        assert router.shard_count == 2
+        assert stack.cluster is not None
+        assert stack.cluster.router is router
+        router.close()
+
+    def test_shard_count_override_turns_sharding_on(self, dots_stack):
+        service = build_service(
+            dots_stack.backend.config, backend=dots_stack.backend, shard_count=2
+        )
+        router = unwrap(service, ClusterRouter)
+        assert router is not None and router.shard_count == 2
+        router.close()
+
+    def test_metrics_wrap(self, dots_stack, box_request):
+        service = build_service(
+            dots_stack.backend.config, backend=dots_stack.backend, metrics=True
+        )
+        assert isinstance(service, MetricsService)
+        service.handle(box_request)
+        assert service.metrics.requests == 1
+
+    def test_requires_backend_or_database(self):
+        with pytest.raises(KyrixError):
+            build_service(default_config())
+
+    def test_builds_and_precomputes_from_database_and_compiled(self):
+        from repro.bench.apps import build_dots_application
+        from repro.compiler import compile_application
+        from repro.datagen.synthetic import load_dots
+        from repro.storage.database import Database
+
+        spec = tiny_spec("uniform", num_points=500, seed=9)
+        config = default_config(viewport=256)
+        database = Database(config.storage)
+        load_dots(database, spec)
+        compiled = compile_application(build_dots_application(spec, config))
+        service = build_service(config, database=database, compiled=compiled)
+        frontend = KyrixFrontend(service)
+        frontend.load_initial_canvas()
+        assert frontend.metrics.steps[0].requests >= 1
+        # The factory precomputed the backend: a full-canvas box sees every dot.
+        from repro.net.protocol import DataRequest
+
+        full = service.handle(
+            DataRequest(
+                app_name=compiled.app_name,
+                canvas_id="dots",
+                layer_index=0,
+                granularity="box",
+                xmin=0.0,
+                ymin=0.0,
+                xmax=spec.canvas_width,
+                ymax=spec.canvas_height,
+            )
+        )
+        assert len(full.objects) == spec.num_points
+
+
+class TestDeprecationShims:
+    def test_frontend_backend_alias(self, dots_stack):
+        frontend = KyrixFrontend(dots_stack.backend)
+        assert frontend.backend is frontend.service is dots_stack.backend
+
+    def test_session_from_backend_alias(self, dots_stack):
+        session = ExplorationSession.from_backend(dots_stack.backend)
+        assert session.frontend.service is dots_stack.backend
+
+    def test_stack_serving_alias(self, dots_stack):
+        assert dots_stack.serving is dots_stack.service

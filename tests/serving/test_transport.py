@@ -1,0 +1,121 @@
+"""Wire-level transport: encode -> decode -> handle -> encode -> decode parity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.net.link import SimulatedLink
+from repro.net.protocol import DataRequest
+from repro.serving import (
+    LocalTransport,
+    RemoteBackendStub,
+    TransportError,
+    TransportService,
+)
+from repro.serving.transport import encode_envelope
+
+
+class TestTransportParity:
+    def test_cached_roundtrip_equals_in_process_exactly(self, dots_stack, box_request):
+        backend = dots_stack.backend
+        backend.cache.clear()
+        backend.handle(box_request)  # populate the backend cache
+        in_process = backend.handle(box_request)
+        assert in_process.from_cache is True  # deterministic (query_ms == 0)
+        wire = TransportService(backend).handle(box_request)
+        assert wire == in_process
+
+    def test_fresh_roundtrip_carries_identical_payload(self, dots_stack, box_request):
+        backend = dots_stack.backend
+        service = TransportService(backend)
+        backend.cache.clear()
+        wire = service.handle(box_request)
+        backend.cache.clear()
+        in_process = backend.handle(box_request)
+        # Timings are measurements and may differ; the data-bearing fields
+        # must be identical — including tuple-typed columns like bbox.
+        assert wire.request == in_process.request
+        assert wire.objects == in_process.objects
+        assert wire.queries_issued == in_process.queries_issued
+        assert json.dumps(wire.objects, sort_keys=True) == json.dumps(
+            in_process.objects, sort_keys=True
+        )
+
+    def test_objects_keep_canonical_tuple_columns(self, dots_stack, box_request):
+        dots_stack.backend.cache.clear()
+        wire = TransportService(dots_stack.backend).handle(box_request)
+        assert wire.objects, "the parity box should not be empty"
+        for obj in wire.objects:
+            assert isinstance(obj["bbox"], tuple)
+
+    def test_metadata_calls_cross_the_wire(self, dots_stack):
+        backend = dots_stack.backend
+        service = TransportService(backend)
+        assert service.canvas_info("dots") == backend.canvas_info("dots")
+        assert service.layer_density("dots", 0) == pytest.approx(
+            backend.layer_density("dots", 0)
+        )
+
+    def test_warm_populates_the_far_side_cache(self, dots_stack, box_request):
+        backend = dots_stack.backend
+        backend.cache.clear()
+        TransportService(backend).warm(box_request)
+        assert backend.cache.peek(box_request.cache_key()) is not None
+
+
+class TestTransportFaults:
+    def test_server_errors_reraise_client_side(self, dots_stack):
+        service = TransportService(dots_stack.backend)
+        bad = DataRequest(
+            app_name="dots",
+            canvas_id="no-such-canvas",
+            layer_index=0,
+            granularity="box",
+            xmin=0.0,
+            ymin=0.0,
+            xmax=1.0,
+            ymax=1.0,
+        )
+        with pytest.raises(TransportError, match="no-such-canvas"):
+            service.handle(bad)
+
+    def test_unknown_operation_is_a_wire_fault(self, dots_stack):
+        transport = LocalTransport(dots_stack.backend)
+        reply = json.loads(transport.roundtrip(encode_envelope("explode", {})))
+        assert reply["ok"] is False
+        assert "explode" in reply["error"]["message"]
+
+    def test_garbage_payload_is_a_wire_fault(self, dots_stack):
+        transport = LocalTransport(dots_stack.backend)
+        reply = json.loads(transport.roundtrip("not json at all"))
+        assert reply["ok"] is False
+
+
+class TestStubAndLink:
+    def test_stub_serves_a_frontend_end_to_end(self, dots_stack):
+        from repro.client import KyrixFrontend
+
+        backend = dots_stack.backend
+        stub = RemoteBackendStub(
+            LocalTransport(backend), backend.compiled, backend.config
+        )
+        frontend = KyrixFrontend(stub)
+        frontend.load_initial_canvas()
+        frontend.pan_by(256.0, 0.0)
+        assert frontend.metrics.total_requests() >= 1
+
+    def test_link_charges_shard_boundary_traffic(self, dots_stack, box_request):
+        backend = dots_stack.backend
+        backend.cache.clear()
+        link = SimulatedLink(backend.config.network)
+        service = TransportService(backend, link=link)
+        response = service.handle(box_request)
+        assert link.stats.requests == 1
+        # The charged payload is the real reply encoding, so it is at least
+        # the size of the serialized objects.
+        assert link.stats.bytes_transferred > len(
+            json.dumps(response.objects).encode()
+        )
+        assert service.stats is link.stats
