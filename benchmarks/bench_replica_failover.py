@@ -1,0 +1,226 @@
+"""Replica failover under injected faults: tail latency and success rate.
+
+Builds a sharded dots cluster at 2/4 shards × 1/2/3 replicas, injects a
+dead replica 0 into **every** shard through the first-class fault seam
+(``repro.serving.faults``), replays a diagonal pan trace of dynamic-box
+requests, and reports:
+
+* ``success_rate`` — fraction of requests answered despite the dead
+  replicas.  With one replica per shard the dead copy *is* the shard, so
+  the cluster is down; from two replicas up, failover masks the outage
+  completely.
+* ``p50_ms`` / ``p95_ms`` — measured wall-clock percentiles per request
+  (the failover detour is visible in the tail, not the median).
+* ``failovers`` / ``replica0_failures`` — how much failover work the
+  replica layer did, straight from its attribution counters.
+
+Run directly::
+
+    python benchmarks/bench_replica_failover.py             # default scale
+    python benchmarks/bench_replica_failover.py --steps 5   # CI smoke
+
+or through pytest (failover must fully mask the dead replicas)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_replica_failover.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[1]
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.bench.apps import build_dots_backend, default_config  # noqa: E402
+from repro.cluster import build_cluster  # noqa: E402
+from repro.datagen.synthetic import tiny_spec  # noqa: E402
+from repro.errors import AllReplicasFailedError  # noqa: E402
+from repro.metrics.collector import summarize  # noqa: E402
+from repro.net.protocol import DataRequest  # noqa: E402
+from repro.serving import (  # noqa: E402
+    REPLICA_POLICIES,
+    FaultInjectingService,
+    FaultSchedule,
+    fault_replica,
+)
+
+
+@dataclass
+class FailoverResult:
+    """One cell of the shards × replicas grid."""
+
+    shard_count: int
+    replicas: int
+    policy: str
+    steps: int
+    succeeded: int
+    failovers: int
+    replica0_failures: int
+    p50_ms: float
+    p95_ms: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.steps if self.steps else 0.0
+
+    def row(self) -> dict[str, object]:
+        return {
+            "shards": self.shard_count,
+            "replicas": self.replicas,
+            "policy": self.policy,
+            "steps": self.steps,
+            "success_rate": f"{self.success_rate:.2f}",
+            "p50_ms": f"{self.p50_ms:.3f}",
+            "p95_ms": f"{self.p95_ms:.3f}",
+            "failovers": self.failovers,
+            "replica0_failures": self.replica0_failures,
+        }
+
+
+def _pan_trace(compiled, app_name: str, steps: int) -> list[DataRequest]:
+    """A diagonal pan of viewport-sized boxes wrapping across the canvas."""
+    plan = compiled.canvas_plan("dots")
+    box_w, box_h = plan.width / 2.0, plan.height / 2.0
+    requests = []
+    for step in range(steps):
+        x = (step * plan.width / 16.0) % (plan.width - box_w)
+        y = (step * plan.height / 23.0) % (plan.height - box_h)
+        requests.append(
+            DataRequest(
+                app_name=app_name, canvas_id="dots", layer_index=0,
+                granularity="box", xmin=x, ymin=y, xmax=x + box_w, ymax=y + box_h,
+            )
+        )
+    return requests
+
+
+def run_cell(
+    source_backend, shard_count: int, replicas: int, policy: str, steps: int
+) -> FailoverResult:
+    cluster = build_cluster(
+        source_backend,
+        shard_count=shard_count,
+        replicas=replicas,
+        replica_policy=policy,
+    )
+    try:
+        if replicas > 1:
+            for layer in cluster.router.replica_sets().values():
+                fault_replica(layer, 0, FaultSchedule.fail_always())
+        else:
+            # One copy per shard: the dead replica IS the shard.
+            for shard in cluster.shards:
+                shard.service = FaultInjectingService(
+                    shard.service, FaultSchedule.fail_always()
+                )
+        requests = _pan_trace(
+            source_backend.compiled, source_backend.compiled.app_name, steps
+        )
+        latencies_ms: list[float] = []
+        succeeded = 0
+        for request in requests:
+            start = time.perf_counter()
+            try:
+                cluster.router.handle(request)
+            except AllReplicasFailedError:
+                continue
+            except Exception:  # replicas=1: the injected fault surfaces raw
+                continue
+            latencies_ms.append((time.perf_counter() - start) * 1000.0)
+            succeeded += 1
+        failovers = 0
+        replica0_failures = 0
+        for layer in cluster.router.replica_sets().values():
+            failovers += layer.stats.failovers
+            replica0_failures += layer.stats.failures_for(0)
+        stats = summarize(latencies_ms) if latencies_ms else None
+        return FailoverResult(
+            shard_count=shard_count,
+            replicas=replicas,
+            policy=policy,
+            steps=len(requests),
+            succeeded=succeeded,
+            failovers=failovers,
+            replica0_failures=replica0_failures,
+            p50_ms=stats.median if stats else 0.0,
+            p95_ms=stats.p95 if stats else 0.0,
+        )
+    finally:
+        cluster.close()
+
+
+def _print_table(results: list[FailoverResult]) -> None:
+    rows = [result.row() for result in results]
+    if not rows:
+        print("no results")
+        return
+    headers = list(rows[0].keys())
+    widths = {
+        header: max(len(header), *(len(str(row[header])) for row in rows))
+        for header in headers
+    }
+    line = "  ".join(header.ljust(widths[header]) for header in headers)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(row[header]).ljust(widths[header]) for header in headers))
+
+
+def main(argv: list[str] | None = None) -> list[FailoverResult]:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=40, help="pan steps per cell")
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=(2, 4), help="shard counts"
+    )
+    parser.add_argument(
+        "--replicas", type=int, nargs="+", default=(1, 2, 3),
+        help="replicas per shard",
+    )
+    parser.add_argument(
+        "--policy", default="least_inflight",
+        choices=REPLICA_POLICIES,
+    )
+    parser.add_argument(
+        "--points", type=int, default=4_000, help="synthetic dataset size"
+    )
+    args = parser.parse_args(argv)
+
+    stack = build_dots_backend(
+        tiny_spec("uniform", num_points=args.points, seed=11),
+        config=default_config(viewport=512),
+    )
+    results = [
+        run_cell(stack.backend, shard_count, replicas, args.policy, args.steps)
+        for shard_count in args.shards
+        for replicas in args.replicas
+    ]
+    _print_table(results)
+    return results
+
+
+def test_replica_failover_smoke():
+    """pytest entry point: failover fully masks dead replicas, no-replica
+    clusters are down, and every failure is attributed."""
+    results = main(["--steps", "8"])
+    assert results
+    for result in results:
+        if result.replicas == 1:
+            # The dead copy is the only copy: the shard (and with faults on
+            # every shard, the cluster) cannot answer.
+            assert result.success_rate == 0.0
+        else:
+            assert result.success_rate == 1.0, (
+                f"failover left requests unanswered at {result.shard_count} "
+                f"shards x {result.replicas} replicas"
+            )
+            assert result.replica0_failures > 0
+            assert result.failovers > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -51,7 +51,7 @@ coalescing, parallel/wire flags);
 percentiles at 1/2/4/8 shards under concurrent pan workloads.
 """
 
-from .builder import ShardedCluster, build_cluster, shard_service
+from .builder import ShardedCluster, build_cluster, replica_service, shard_service
 from .coalescer import CoalescerStats, RequestCoalescer
 from .partitioner import (
     BalancedKDPartitioner,
@@ -77,5 +77,6 @@ __all__ = [
     "ShardedIndexer",
     "build_cluster",
     "make_partitioner",
+    "replica_service",
     "shard_service",
 ]

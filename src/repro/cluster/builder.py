@@ -5,9 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any
 
+from ..config import ClusterConfig, KyrixConfig
 from ..server.backend import KyrixBackend
 from ..serving.base import DataService
-from ..serving.middleware import SerializedService
+from ..serving.middleware import CachingService, SerializedService
+from ..serving.replica import ReplicaService
 from ..serving.transport import TransportService
 from .partitioner import Partitioning
 from .router import ClusterRouter
@@ -34,7 +36,7 @@ class ShardedCluster:
 
 
 def shard_service(shard: ShardHandle, *, wire: bool) -> DataService:
-    """The serving stack of one shard.
+    """The single-copy serving stack of one shard.
 
     Always a :class:`~repro.serving.middleware.SerializedService` guarding
     the shard's embedded engine (the stand-in for one single-threaded worker
@@ -50,6 +52,46 @@ def shard_service(shard: ShardHandle, *, wire: bool) -> DataService:
     return stack
 
 
+def replica_service(
+    shard: ShardHandle,
+    cluster_config: "ClusterConfig",
+    config: "KyrixConfig",
+    *,
+    wire: bool,
+) -> ReplicaService:
+    """A replica set fronting one shard's immutable index.
+
+    Every replica shares the shard's precomputed database/backend — the
+    index is immutable after sharding, so replicas are interchangeable by
+    construction — but composes its *own* serving stack on top: an
+    independent :class:`~repro.serving.middleware.CachingService` (so
+    ``per_key_affinity`` has per-replica caches to aim at), an independent
+    :class:`~repro.serving.transport.TransportService`, and its own breaker
+    and traffic counters in the :class:`~repro.serving.replica.ReplicaService`.
+    Engine access stays serialised through the shard's single lock (the
+    embedded storage engine is not thread-safe; one lock per shard is the
+    in-process stand-in for each replica process owning a copy of the
+    index).
+    """
+    cache_entries = config.cache.backend_entries if config.cache.enabled else 0
+    replicas: list[DataService] = []
+    for _ in range(cluster_config.replicas):
+        stack: DataService = SerializedService(
+            shard.backend.query_service(), lock=shard.lock
+        )
+        stack = CachingService(stack, entries=cache_entries)
+        if wire:
+            stack = TransportService(stack)
+        replicas.append(stack)
+    return ReplicaService(
+        replicas,
+        policy=cluster_config.replica_policy,
+        retry_limit=cluster_config.replica_retry_limit,
+        breaker_threshold=cluster_config.breaker_threshold,
+        breaker_reset_s=cluster_config.breaker_reset_s,
+    )
+
+
 def build_cluster(
     source_backend: KyrixBackend,
     *,
@@ -58,6 +100,8 @@ def build_cluster(
     coalescing: bool | None = None,
     parallel: bool | None = None,
     wire_shards: bool | None = None,
+    replicas: int | None = None,
+    replica_policy: str | None = None,
     tile_sizes: tuple[int, ...] = (),
 ) -> ShardedCluster:
     """Shard a precomputed backend into a scatter-gather serving cluster.
@@ -78,11 +122,14 @@ def build_cluster(
             ("strategy", strategy),
             ("parallel_shards", parallel),
             ("wire_shards", wire_shards),
+            ("replicas", replicas),
+            ("replica_policy", replica_policy),
         )
         if value is not None
     }
     if overrides:
         cluster_config = replace(cluster_config, **overrides)
+        cluster_config.validate()
     indexer = ShardedIndexer(
         source_backend.database,
         source_backend.compiled,
@@ -91,7 +138,12 @@ def build_cluster(
     )
     shards, partitionings = indexer.build_shards(tile_sizes=tile_sizes)
     for shard in shards:
-        shard.service = shard_service(shard, wire=cluster_config.wire_shards)
+        if cluster_config.replicas > 1:
+            shard.service = replica_service(
+                shard, cluster_config, config, wire=cluster_config.wire_shards
+            )
+        else:
+            shard.service = shard_service(shard, wire=cluster_config.wire_shards)
     router = ClusterRouter(
         shards,
         partitionings,

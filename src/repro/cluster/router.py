@@ -22,6 +22,12 @@ middleware stack over the scatter-gather core::
    several shards — the gathered object list is byte-identical whether the
    shard queries ran in parallel or sequentially.
 
+With ``cluster.replicas > 1`` each shard call lands on a
+:class:`~repro.serving.replica.ReplicaService` that load-balances across
+the shard's replicas and fails over on replica faults; every replica
+attempt is reported back into :class:`ClusterStats` (``per_replica_requests``
+/ ``per_replica_failures``) so outages stay attributable.
+
 ``DataResponse.query_ms`` of a gathered response is the critical path — the
 slowest shard plus the router's merge time — which parallel execution makes
 the *measured* shape of the request too, not just the modelled one.
@@ -67,6 +73,17 @@ class ClusterStats:
     per_shard_requests: dict[int, int] = field(default_factory=dict)
     #: How many scatter-gathers touched exactly N shards (fan-out histogram).
     fanout: dict[int, int] = field(default_factory=dict)
+    #: Per-replica attempt counts, keyed ``"shard{S}/replica{R}"`` (only
+    #: populated when shards serve through a replica set).
+    per_replica_requests: dict[str, int] = field(default_factory=dict)
+    #: Per-replica failed-attempt counts, same keys.
+    per_replica_failures: dict[str, int] = field(default_factory=dict)
+
+    def record_replica_attempt(self, shard_id: int, replica_index: int, ok: bool) -> None:
+        key = f"shard{shard_id}/replica{replica_index}"
+        self.per_replica_requests[key] = self.per_replica_requests.get(key, 0) + 1
+        if not ok:
+            self.per_replica_failures[key] = self.per_replica_failures.get(key, 0) + 1
 
     def record_scatter(self, shard_ids: list[int]) -> None:
         self.scatter_gathers += 1
@@ -90,6 +107,8 @@ class ClusterStats:
         self.objects_returned = 0
         self.per_shard_requests.clear()
         self.fanout.clear()
+        self.per_replica_requests.clear()
+        self.per_replica_failures.clear()
 
 
 class _ScatterGatherService:
@@ -181,10 +200,47 @@ class ClusterRouter:
         #: Back-reference to the ShardedCluster that built this router
         #: (set by :func:`repro.cluster.builder.build_cluster`).
         self.cluster: Any = None
+        # Shards fronted by a replica set report every attempt back here, so
+        # ClusterStats attributes traffic and failures per replica.
+        from ..serving.replica import ReplicaService
+
+        for shard in shards:
+            layer = getattr(shard, "service", None)
+            if isinstance(layer, ReplicaService):
+                layer.observer = self._replica_observer(shard.shard_id)
 
     @property
     def shard_count(self) -> int:
         return len(self.shards)
+
+    @property
+    def children(self) -> tuple[Any, ...]:
+        """The per-shard serving stacks, traversed by :func:`~repro.serving.base.unwrap`.
+
+        Makes ``unwrap(router, ReplicaService)`` (or any layer inside a
+        shard's stack) reachable from the cluster's outermost service.
+        """
+        return tuple(
+            shard.service if shard.service is not None else shard.backend
+            for shard in self.shards
+        )
+
+    def _replica_observer(self, shard_id: int):
+        def record(replica_index: int, ok: bool) -> None:
+            with self._stats_lock:
+                self.stats.record_replica_attempt(shard_id, replica_index, ok)
+
+        return record
+
+    def replica_sets(self) -> dict[int, Any]:
+        """The shards' :class:`~repro.serving.replica.ReplicaService` layers."""
+        from ..serving.replica import ReplicaService
+
+        return {
+            shard.shard_id: shard.service
+            for shard in self.shards
+            if isinstance(getattr(shard, "service", None), ReplicaService)
+        }
 
     # -- request handling --------------------------------------------------------------
 
@@ -354,6 +410,8 @@ class ClusterRouter:
             "shard_count": self.shard_count,
             "parallel": self.parallel,
             "wire_shards": self.cluster_config.wire_shards,
+            "replicas": self.cluster_config.replicas,
+            "replica_policy": self.cluster_config.replica_policy,
             "shards": [
                 {
                     "shard_id": shard.shard_id,

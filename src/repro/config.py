@@ -112,6 +112,11 @@ class PrefetchConfig:
             raise KyrixError("history_window must be >= 1")
 
 
+#: The replica selection policies a cluster's replica sets understand
+#: (:class:`~repro.serving.replica.ReplicaService` re-exports this).
+REPLICA_POLICIES = ("round_robin", "least_inflight", "per_key_affinity")
+
+
 @dataclass
 class ClusterConfig:
     """Configuration of the sharded serving cluster (:mod:`repro.cluster`).
@@ -151,6 +156,27 @@ class ClusterConfig:
         (``encode -> decode -> handle -> encode -> decode`` through
         :mod:`repro.net.protocol`), so shard conversations are exactly what
         a multi-node deployment would put on the network.
+    replicas:
+        Number of interchangeable replicas serving each shard.  With more
+        than one, the cluster builder fronts every shard with a
+        :class:`~repro.serving.replica.ReplicaService` that load-balances,
+        circuit-breaks and fails over across the replicas; ``1`` keeps the
+        single-copy serving stack.
+    replica_policy:
+        Replica selection policy: ``"round_robin"`` (even spread),
+        ``"least_inflight"`` (steer to the least-loaded replica) or
+        ``"per_key_affinity"`` (identical cache keys hit the same replica's
+        cache).
+    replica_retry_limit:
+        Maximum replica attempts per request; ``0`` means try every replica
+        once before raising
+        :class:`~repro.errors.AllReplicasFailedError`.
+    breaker_threshold:
+        Consecutive failures after which a replica's circuit breaker opens
+        and the replica stops receiving traffic.
+    breaker_reset_s:
+        Seconds an open breaker waits before letting one trial request
+        probe the replica again.
     """
 
     enabled: bool = False
@@ -162,6 +188,11 @@ class ClusterConfig:
     parallel_shards: bool = True
     max_parallel_shards: int = 0
     wire_shards: bool = True
+    replicas: int = 1
+    replica_policy: str = "round_robin"
+    replica_retry_limit: int = 0
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 30.0
 
     def validate(self) -> None:
         if self.shard_count < 1:
@@ -174,6 +205,18 @@ class ClusterConfig:
             raise KyrixError("kd_sample_limit must be >= 1")
         if self.max_parallel_shards < 0:
             raise KyrixError("max_parallel_shards must be non-negative")
+        if self.replicas < 1:
+            raise KyrixError(f"replicas must be >= 1, got {self.replicas}")
+        if self.replica_policy not in REPLICA_POLICIES:
+            raise KyrixError(f"unknown replica policy: {self.replica_policy!r}")
+        if self.replica_retry_limit < 0:
+            raise KyrixError("replica_retry_limit must be non-negative")
+        if self.breaker_threshold < 1:
+            raise KyrixError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset_s < 0:
+            raise KyrixError("breaker_reset_s must be non-negative")
 
 
 @dataclass

@@ -134,6 +134,40 @@ class PrecomputeError(ServerError):
     """Placement precomputation / indexing failed."""
 
 
+class ReplicaTimeoutError(ServerError):
+    """A replica answered, but only after the replica set's timeout budget.
+
+    Raised by :class:`~repro.serving.replica.ReplicaService` when the
+    (virtual) clock advanced past ``timeout_ms`` during one replica call;
+    the slow response is discarded and the request fails over to the next
+    healthy replica.
+    """
+
+
+class AllReplicasFailedError(ServerError):
+    """Every attempted replica of a shard failed for one request.
+
+    Raised by :class:`~repro.serving.replica.ReplicaService` only once the
+    replica set is exhausted (or the configured retry limit is hit).
+    ``causes`` maps each attempted replica index to the exception it raised,
+    so operators can attribute the outage per replica.
+    """
+
+    def __init__(
+        self, causes: dict[int, BaseException], attempts: int | None = None
+    ) -> None:
+        self.causes = dict(causes)
+        self.attempts = attempts if attempts is not None else len(self.causes)
+        detail = "; ".join(
+            f"replica{index}: {type(error).__name__}: {error}"
+            for index, error in sorted(self.causes.items())
+        )
+        super().__init__(
+            f"all replicas failed after {self.attempts} attempt(s): "
+            f"{detail or 'no replica was available to attempt'}"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Frontend client
 # ---------------------------------------------------------------------------

@@ -14,6 +14,13 @@ frontend and the backend serving surface:
 * :mod:`repro.serving.transport` — :class:`LocalTransport` /
   :class:`RemoteBackendStub` / :class:`TransportService`, putting the
   :mod:`repro.net.protocol` JSON encoding on the shard boundary,
+* :mod:`repro.serving.replica` — :class:`ReplicaService`, fronting N
+  interchangeable replicas of a shard with load balancing, circuit
+  breaking and failover,
+* :mod:`repro.serving.faults` — :class:`FaultInjectingService` /
+  :class:`FaultInjectingTransport` driven by deterministic
+  :class:`FaultSchedule` plans, the sanctioned way to exercise failure
+  paths in tests and benchmarks,
 * :mod:`repro.serving.factory` — :func:`build_service`, the single entry
   point call sites use instead of assembling stacks by hand.
 
@@ -26,6 +33,14 @@ Quickstart::
 
 from .base import DataService, ServiceMiddleware, stack_layers, unwrap
 from .factory import build_service
+from .faults import (
+    FaultInjectingService,
+    FaultInjectingTransport,
+    FaultRule,
+    FaultSchedule,
+    InjectedFaultError,
+    fault_replica,
+)
 from .middleware import (
     CachingService,
     CoalescingService,
@@ -33,6 +48,7 @@ from .middleware import (
     SerializedService,
     ServiceMetrics,
 )
+from .replica import REPLICA_POLICIES, ReplicaService, ReplicaSetStats
 from .transport import (
     LocalTransport,
     RemoteBackendStub,
@@ -42,12 +58,20 @@ from .transport import (
 )
 
 __all__ = [
+    "REPLICA_POLICIES",
     "CachingService",
     "CoalescingService",
     "DataService",
+    "FaultInjectingService",
+    "FaultInjectingTransport",
+    "FaultRule",
+    "FaultSchedule",
+    "InjectedFaultError",
     "LocalTransport",
     "MetricsService",
     "RemoteBackendStub",
+    "ReplicaService",
+    "ReplicaSetStats",
     "SerializedService",
     "ServiceMetrics",
     "ServiceMiddleware",
@@ -55,6 +79,7 @@ __all__ = [
     "TransportError",
     "TransportService",
     "build_service",
+    "fault_replica",
     "stack_layers",
     "unwrap",
 ]

@@ -16,8 +16,9 @@ plain nesting, e.g.::
 
     CachingService(CoalescingService(TransportService(backend)))
 
-and :func:`unwrap` walks ``.inner`` links to find a specific layer (or the
-terminal service) inside a composed stack.
+and :func:`unwrap` walks ``.inner`` links — descending into every branch of
+layers that hold multiple children via ``children`` (replica sets) — to find
+a specific layer (or the terminal service) inside a composed stack.
 """
 
 from __future__ import annotations
@@ -115,28 +116,58 @@ class ServiceMiddleware:
 ServiceT = TypeVar("ServiceT")
 
 
+def _child_layers(service: Any) -> list[Any]:
+    """The services one layer below ``service``.
+
+    Most middleware wraps a single ``.inner``; layers that hold *multiple*
+    children (a :class:`~repro.serving.replica.ReplicaService` fronting N
+    replica stacks) expose them as a ``children`` sequence instead, and
+    traversal descends into every branch.
+    """
+    inner = getattr(service, "inner", None)
+    if inner is not None:
+        return [inner]
+    children = getattr(service, "children", None)
+    if children:
+        return list(children)
+    return []
+
+
 def unwrap(service: DataService, kind: type[ServiceT] | None = None) -> ServiceT | None:
     """Find the first layer of type ``kind`` in a middleware stack.
 
-    Walks ``service`` and its ``.inner`` chain outside-in.  With
-    ``kind=None`` the terminal (innermost) service is returned, which is
-    never ``None``.
+    Walks the stack outside-in, depth-first in branch order:
+    single-``inner`` middleware is followed as before, and layers holding
+    multiple children (e.g. ``unwrap(service, ReplicaService)`` returning
+    the replica layer itself, or digging *through* it into a replica's
+    stack) are traversed into every branch, first branch first.  With
+    ``kind=None`` the terminal service of the first branch is returned,
+    which is never ``None``; with a ``kind`` absent from the stack the
+    result is ``None``.
     """
-    current: Any = service
-    while True:
+    stack: list[Any] = [service]
+    while stack:
+        current = stack.pop()
         if kind is not None and isinstance(current, kind):
             return current
-        inner = getattr(current, "inner", None)
-        if inner is None:
-            return None if kind is not None else current
-        current = inner
+        layers_below = _child_layers(current)
+        if not layers_below and kind is None:
+            return current
+        stack.extend(reversed(layers_below))
+    return None
 
 
 def stack_layers(service: DataService) -> list[DataService]:
-    """The stack's layers outside-in, ending at the terminal service."""
+    """Every layer of the stack outside-in, depth-first in branch order.
+
+    Ends at the terminal service for a plain single-``inner`` chain; for
+    stacks holding a multi-child layer (a replica set) every branch's
+    layers are included, first branch first.
+    """
     layers: list[DataService] = []
-    current: Any = service
-    while current is not None:
+    stack: list[Any] = [service]
+    while stack:
+        current = stack.pop()
         layers.append(current)
-        current = getattr(current, "inner", None)
+        stack.extend(reversed(_child_layers(current)))
     return layers

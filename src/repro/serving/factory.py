@@ -42,6 +42,8 @@ def build_service(
     coalescing: bool | None = None,
     parallel: bool | None = None,
     wire_shards: bool | None = None,
+    replicas: int | None = None,
+    replica_policy: str | None = None,
     metrics: bool = False,
 ) -> "DataService":
     """Build the configured serving stack and return its outermost service.
@@ -65,6 +67,12 @@ def build_service(
         Per-build overrides of the corresponding ``config.cluster`` fields.
         Passing ``shard_count`` or ``strategy`` turns sharding on even when
         ``config.cluster.enabled`` is false.
+    replicas / replica_policy:
+        Per-build overrides of ``config.cluster.replicas`` /
+        ``config.cluster.replica_policy``: with more than one replica every
+        shard serves through a
+        :class:`~repro.serving.replica.ReplicaService` (load balancing,
+        circuit breaking, failover).  Only meaningful for sharded stacks.
     metrics:
         Wrap the stack in a :class:`~repro.serving.middleware.MetricsService`
         recording per-request latency breakdowns.
@@ -94,6 +102,8 @@ def build_service(
             coalescing=coalescing,
             parallel=parallel,
             wire_shards=wire_shards,
+            replicas=replicas,
+            replica_policy=replica_policy,
             tile_sizes=tile_sizes,
         )
         service: "DataService" = cluster.router

@@ -1,0 +1,265 @@
+"""Deterministic fault injection for the serving stack.
+
+Failover is untestable without controllable failures, so faults are a
+first-class seam rather than ad-hoc monkeypatching: both the test suites and
+``benchmarks/bench_replica_failover.py`` drive the same classes.
+
+* :class:`FaultSchedule` — a deterministic, schedule-driven fault plan: a
+  list of :class:`FaultRule` entries matched against a per-operation call
+  counter (raise on the nth call, fail the first k calls, fail forever,
+  add fixed latency, corrupt the payload).  No randomness: the same
+  schedule replayed over the same traffic injects the same faults.
+* :class:`FaultInjectingService` — middleware applying a schedule to any
+  :class:`~repro.serving.base.DataService`; error faults raise
+  :class:`InjectedFaultError`, latency faults advance a
+  :class:`~repro.metrics.timer.VirtualClock` (so replica timeouts and tail
+  latencies are simulated, not slept), corruption faults replace the
+  response payload with a recognisably wrong one.
+* :class:`FaultInjectingTransport` — the same idea one level down, on the
+  :class:`~repro.serving.transport.ShardTransport` wire: error faults raise
+  before the envelope is delivered (a dead connection), corruption faults
+  garble the reply bytes so the client-side decode fails.
+
+:func:`fault_replica` is the convenience hook tests and benchmarks use to
+wrap one replica of a built cluster in place (via the
+``ReplicaService.replicas`` accessor).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..errors import KyrixError
+from .base import DataService, ServiceMiddleware
+
+if TYPE_CHECKING:
+    from ..net.protocol import DataRequest, DataResponse
+    from .replica import ReplicaService
+    from .transport import ShardTransport
+
+
+class InjectedFaultError(KyrixError):
+    """The failure a fault schedule injects (never raised by real code)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: *which* calls it hits and *what* it does.
+
+    ``kind`` is ``"error"`` (raise :class:`InjectedFaultError`),
+    ``"latency"`` (advance the virtual clock by ``latency_ms``) or
+    ``"corrupt"`` (return a wrong payload).  The rule matches the calls of
+    operation ``op`` (``"*"`` for any) whose zero-based per-op call index
+    lies in ``[start, start + count)``; ``count=None`` means forever.
+    """
+
+    kind: str
+    op: str = "handle"
+    start: int = 0
+    count: int | None = None
+    latency_ms: float = 0.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "latency", "corrupt"):
+            raise KyrixError(f"unknown fault kind {self.kind!r}")
+        if self.start < 0 or (self.count is not None and self.count < 0):
+            raise KyrixError("fault rule start/count must be non-negative")
+
+    def matches(self, op: str, call_index: int) -> bool:
+        if self.op != "*" and self.op != op:
+            return False
+        if call_index < self.start:
+            return False
+        return self.count is None or call_index < self.start + self.count
+
+
+class FaultSchedule:
+    """A thread-safe, replayable plan of faults keyed by call order."""
+
+    def __init__(self, rules: Iterable[FaultRule] = ()) -> None:
+        self.rules = list(rules)
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+        #: Total faults applied so far (all kinds).
+        self.injected = 0
+
+    # -- common shapes ------------------------------------------------------
+
+    @classmethod
+    def fail_always(cls, op: str = "handle") -> "FaultSchedule":
+        """Every call of ``op`` fails (a dead replica)."""
+        return cls([FaultRule(kind="error", op=op)])
+
+    @classmethod
+    def fail_nth(cls, n: int, op: str = "handle") -> "FaultSchedule":
+        """Only the zero-based ``n``-th call of ``op`` fails."""
+        return cls([FaultRule(kind="error", op=op, start=n, count=1)])
+
+    @classmethod
+    def fail_first(cls, count: int, op: str = "handle") -> "FaultSchedule":
+        """The first ``count`` calls of ``op`` fail, then the fault clears."""
+        return cls([FaultRule(kind="error", op=op, start=0, count=count)])
+
+    @classmethod
+    def slow(
+        cls,
+        latency_ms: float,
+        op: str = "handle",
+        start: int = 0,
+        count: int | None = None,
+    ) -> "FaultSchedule":
+        """Add ``latency_ms`` of virtual-clock latency to matching calls."""
+        return cls(
+            [FaultRule(kind="latency", op=op, start=start, count=count,
+                       latency_ms=latency_ms)]
+        )
+
+    @classmethod
+    def corrupt_nth(cls, n: int, op: str = "handle") -> "FaultSchedule":
+        """Corrupt the payload of the zero-based ``n``-th call of ``op``."""
+        return cls([FaultRule(kind="corrupt", op=op, start=n, count=1)])
+
+    # -- consultation -------------------------------------------------------
+
+    def consult(self, op: str) -> list[FaultRule]:
+        """Advance the per-op counter and return the rules hitting this call."""
+        with self._lock:
+            call_index = self._counts.get(op, 0)
+            self._counts[op] = call_index + 1
+        hits = [rule for rule in self.rules if rule.matches(op, call_index)]
+        if hits:
+            with self._lock:
+                self.injected += len(hits)
+        return hits
+
+    def calls(self, op: str) -> int:
+        """How many calls of ``op`` the schedule has seen."""
+        with self._lock:
+            return self._counts.get(op, 0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self.injected = 0
+
+
+def corrupted_response(request: "DataRequest") -> "DataResponse":
+    """The recognisably-wrong payload a corruption fault substitutes."""
+    from ..net.protocol import DataResponse
+
+    return DataResponse(
+        request=request,
+        objects=[{"tuple_id": -1, "corrupted": True}],
+        query_ms=0.0,
+        from_cache=False,
+        queries_issued=0,
+    )
+
+
+class FaultInjectingService(ServiceMiddleware):
+    """Applies a :class:`FaultSchedule` to every call into ``inner``.
+
+    Latency faults advance ``clock`` *before* the inner call (the slow
+    replica is slow whether or not it would have answered); error faults
+    then raise without touching ``inner`` at all (a dead replica does no
+    work); corruption faults let the call run and replace the result.
+    """
+
+    def __init__(
+        self,
+        inner: DataService,
+        schedule: FaultSchedule,
+        *,
+        clock: Any | None = None,
+    ) -> None:
+        super().__init__(inner)
+        self.schedule = schedule
+        self.clock = clock
+
+    def _apply_pre(self, rules: list[FaultRule]) -> None:
+        for rule in rules:
+            if rule.kind == "latency" and self.clock is not None:
+                self.clock.advance(rule.latency_ms)
+        for rule in rules:
+            if rule.kind == "error":
+                raise InjectedFaultError(rule.message)
+
+    def handle(self, request: "DataRequest") -> "DataResponse":
+        rules = self.schedule.consult("handle")
+        self._apply_pre(rules)
+        response = self.inner.handle(request)
+        if any(rule.kind == "corrupt" for rule in rules):
+            return corrupted_response(request)
+        return response
+
+    def warm(self, request: "DataRequest") -> None:
+        self._apply_pre(self.schedule.consult("warm"))
+        self.inner.warm(request)
+
+    def canvas_info(self, canvas_id: str) -> dict[str, Any]:
+        self._apply_pre(self.schedule.consult("canvas_info"))
+        return self.inner.canvas_info(canvas_id)
+
+    def layer_density(self, canvas_id: str, layer_index: int) -> float:
+        self._apply_pre(self.schedule.consult("layer_density"))
+        return self.inner.layer_density(canvas_id, layer_index)
+
+
+class FaultInjectingTransport:
+    """A :class:`~repro.serving.transport.ShardTransport` that injects faults.
+
+    Error faults raise before delivery (the connection died); latency
+    faults charge the virtual clock per round-trip; corruption faults
+    garble the reply text so the client-side JSON decode blows up — the
+    three failure shapes a networked shard actually exhibits.
+    """
+
+    def __init__(
+        self,
+        inner: "ShardTransport",
+        schedule: FaultSchedule,
+        *,
+        clock: Any | None = None,
+    ) -> None:
+        self.inner = inner
+        self.schedule = schedule
+        self.clock = clock
+
+    def roundtrip(self, payload: str) -> str:
+        rules = self.schedule.consult("roundtrip")
+        for rule in rules:
+            if rule.kind == "latency" and self.clock is not None:
+                self.clock.advance(rule.latency_ms)
+        for rule in rules:
+            if rule.kind == "error":
+                raise InjectedFaultError(rule.message)
+        reply = self.inner.roundtrip(payload)
+        if any(rule.kind == "corrupt" for rule in rules):
+            return "<<corrupted envelope>>" + reply[:16]
+        return reply
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def fault_replica(
+    replica_service: "ReplicaService",
+    index: int,
+    schedule: FaultSchedule,
+    *,
+    clock: Any | None = None,
+) -> FaultInjectingService:
+    """Wrap replica ``index`` of a live replica set with a fault injector.
+
+    Mutates ``replica_service.replicas`` in place and returns the injector
+    (its ``inner`` is the original replica stack, so the fault can be
+    removed by assigning it back).
+    """
+    injector = FaultInjectingService(
+        replica_service.replicas[index], schedule, clock=clock
+    )
+    replica_service.replicas[index] = injector
+    return injector

@@ -1,0 +1,131 @@
+"""Replica failover parity: the acceptance bar of the replication rework.
+
+A 2-shard × 2-replica cluster whose replica 0 of *every* shard is
+fault-injected to fail each request must return byte-identical dbox/tile
+payloads to a fault-free 1-replica cluster built from the same backend, on
+both evaluation applications (usmap + EEG, both database designs), and the
+router's stats must attribute every failure to the broken replicas.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.net.protocol import DataRequest
+from repro.server.schemes import DESIGN_MAPPING, DESIGN_SPATIAL
+from repro.server.tile import TileScheme
+from repro.serving import FaultSchedule, fault_replica
+
+
+def _payload_bytes(response) -> bytes:
+    return json.dumps(response.objects, sort_keys=True).encode("utf-8")
+
+
+def _all_requests(stack):
+    requests = []
+    for canvas_id, layer_index, tile_size in stack.canvases:
+        plan = stack.backend.compiled.canvas_plan(canvas_id)
+        scheme = TileScheme(plan.width, plan.height, tile_size)
+        for design in (DESIGN_SPATIAL, DESIGN_MAPPING):
+            for tile_id in range(scheme.tile_count):
+                requests.append(
+                    DataRequest(
+                        app_name=stack.app_name,
+                        canvas_id=canvas_id,
+                        layer_index=layer_index,
+                        granularity="tile",
+                        design=design,
+                        tile_id=tile_id,
+                        tile_size=tile_size,
+                    )
+                )
+    for canvas_id, layer_index, (xmin, ymin, xmax, ymax) in stack.boxes:
+        requests.append(
+            DataRequest(
+                app_name=stack.app_name,
+                canvas_id=canvas_id,
+                layer_index=layer_index,
+                granularity="box",
+                design=DESIGN_SPATIAL,
+                xmin=xmin,
+                ymin=ymin,
+                xmax=xmax,
+                ymax=ymax,
+            )
+        )
+    return requests
+
+
+@pytest.mark.parametrize("stack_fixture", ["usmap_parity_stack", "eeg_parity_stack"])
+@pytest.mark.parametrize("policy", ["round_robin", "least_inflight", "per_key_affinity"])
+def test_failover_is_byte_identical_to_single_replica(request, stack_fixture, policy):
+    stack = request.getfixturevalue(stack_fixture)
+    tile_sizes = tuple(sorted({tile_size for _, _, tile_size in stack.canvases}))
+    baseline = build_cluster(
+        stack.backend, shard_count=2, replicas=1, tile_sizes=tile_sizes
+    )
+    replicated = build_cluster(
+        stack.backend,
+        shard_count=2,
+        replicas=2,
+        replica_policy=policy,
+        tile_sizes=tile_sizes,
+    )
+    try:
+        replica_sets = replicated.router.replica_sets()
+        assert set(replica_sets) == {0, 1}
+        # Replica 0 of every shard fails every request it is handed.
+        for layer in replica_sets.values():
+            fault_replica(layer, 0, FaultSchedule.fail_always())
+
+        compared = 0
+        for data_request in _all_requests(stack):
+            healthy = baseline.router.handle(data_request)
+            survived = replicated.router.handle(data_request)
+            assert _payload_bytes(survived) == _payload_bytes(healthy), (
+                f"failover payload diverged for {data_request}"
+            )
+            compared += 1
+        assert compared > 0
+
+        stats = replicated.router.stats
+        # Failures are attributed to the broken replicas and nothing else.
+        assert sum(stats.per_replica_failures.values()) > 0
+        assert all(key.endswith("/replica0") for key in stats.per_replica_failures)
+        for shard_id, layer in replica_sets.items():
+            assert layer.stats.failures_for(1) == 0
+            assert layer.stats.failures_for(0) == layer.stats.requests_for(0)
+            assert stats.per_replica_failures.get(
+                f"shard{shard_id}/replica0", 0
+            ) == layer.stats.failures_for(0)
+            # The healthy replica served every scatter that hit the shard.
+            assert layer.stats.requests_for(1) == stats.per_shard_requests.get(
+                shard_id, 0
+            )
+    finally:
+        baseline.close()
+        replicated.close()
+
+
+def test_replicated_cluster_without_faults_matches_baseline(usmap_parity_stack):
+    """Replication alone must not change payloads (healthy-path parity)."""
+    stack = usmap_parity_stack
+    tile_sizes = tuple(sorted({tile_size for _, _, tile_size in stack.canvases}))
+    baseline = build_cluster(
+        stack.backend, shard_count=2, replicas=1, tile_sizes=tile_sizes
+    )
+    replicated = build_cluster(
+        stack.backend, shard_count=2, replicas=3, tile_sizes=tile_sizes
+    )
+    try:
+        for data_request in _all_requests(stack):
+            assert _payload_bytes(replicated.router.handle(data_request)) == (
+                _payload_bytes(baseline.router.handle(data_request))
+            )
+        assert not replicated.router.stats.per_replica_failures
+    finally:
+        baseline.close()
+        replicated.close()

@@ -16,8 +16,15 @@ import pytest
 from repro.config import NetworkConfig
 from repro.metrics.timer import VirtualClock
 from repro.net.link import SimulatedLink
+from repro.net.protocol import DataRequest
 from repro.server.cache import LRUCache
-from repro.serving import CachingService, SerializedService
+from repro.serving import (
+    CachingService,
+    FaultSchedule,
+    MetricsService,
+    SerializedService,
+    fault_replica,
+)
 
 
 THREADS = 8
@@ -130,3 +137,84 @@ class TestConcurrentSessionsThroughSharedStack:
         # can race past the cache before the first insert lands.
         assert 1 <= stats.misses <= THREADS
         assert stats.hits >= lookups - THREADS
+
+
+class TestReplicatedClusterConcurrency:
+    """The replica satellite: hammer a 2-shard × 2-replica cluster with
+    faults injected and assert in-flight accounting, payload integrity and
+    exact counter identities all survive."""
+
+    def test_faulted_cluster_under_concurrent_sessions(self, dots_stack):
+        from repro.cluster import build_cluster
+
+        cluster = build_cluster(
+            dots_stack.backend,
+            shard_count=2,
+            replicas=2,
+            replica_policy="least_inflight",
+            # Per-request identities below need every request to really
+            # scatter: no router cache, no coalescing.
+            coalescing=False,
+        )
+        cluster.router.cache.capacity = 0
+        service = MetricsService(cluster.router)
+        try:
+            # Replica 0 of every shard fails each request (dead replicas).
+            for layer in cluster.router.replica_sets().values():
+                fault_replica(layer, 0, FaultSchedule.fail_always())
+            plan = dots_stack.compiled.canvas_plan("dots")
+            requests = [
+                DataRequest(
+                    app_name=dots_stack.compiled.app_name, canvas_id="dots",
+                    layer_index=0, granularity="box",
+                    xmin=7.0 * i, ymin=5.0 * i,
+                    xmax=min(7.0 * i + 420.0, plan.width),
+                    ymax=min(5.0 * i + 420.0, plan.height),
+                )
+                for i in range(6)
+            ]
+            expected = {
+                req.cache_key(): sorted(
+                    o["tuple_id"] for o in dots_stack.backend.handle(req).objects
+                )
+                for req in requests
+            }
+            rounds = 12
+
+            def worker(index):
+                for _ in range(rounds):
+                    for req in requests:
+                        response = service.handle(req)
+                        got = sorted(o["tuple_id"] for o in response.objects)
+                        # Interleaving corruption would show up as another
+                        # request's (or a partial) payload.
+                        assert got == expected[req.cache_key()]
+
+            _hammer(worker)
+
+            issued = THREADS * rounds * len(requests)
+            # Exact MetricsCollector totals: no lost increments anywhere.
+            assert service.metrics.requests == issued
+            assert len(service.metrics.collector) == issued
+            assert cluster.router.stats.requests == issued
+            for shard_id, layer in cluster.router.replica_sets().items():
+                # All in-flight counters drained back to zero.
+                assert layer.inflight == [0, 0]
+                stats = layer.stats
+                # The dead replica never answered; every scatter that
+                # reached this shard succeeded on replica 1, exactly once.
+                assert stats.failures_for(0) == stats.requests_for(0)
+                assert stats.failures_for(1) == 0
+                assert stats.requests_for(1) == (
+                    cluster.router.stats.per_shard_requests.get(shard_id, 0)
+                )
+                # The router's attribution mirrors the replica set's own.
+                router_stats = cluster.router.stats
+                assert router_stats.per_replica_requests.get(
+                    f"shard{shard_id}/replica1", 0
+                ) == stats.requests_for(1)
+                assert router_stats.per_replica_failures.get(
+                    f"shard{shard_id}/replica0", 0
+                ) == stats.failures_for(0)
+        finally:
+            cluster.close()

@@ -14,6 +14,7 @@ from repro.serving import (
     CoalescingService,
     DataService,
     MetricsService,
+    ReplicaService,
     SerializedService,
     TransportService,
     build_service,
@@ -35,6 +36,7 @@ class TestProtocol:
                 MetricsService(backend),
                 SerializedService(backend),
                 TransportService(backend),
+                ReplicaService([backend.query_service(), backend.query_service()]),
             ]
             for endpoint in endpoints:
                 assert isinstance(endpoint, DataService), type(endpoint).__name__
@@ -59,6 +61,31 @@ class TestProtocol:
         assert unwrap(outer) is dots_stack.backend
         assert stack_layers(outer) == [outer, caching, dots_stack.backend]
         assert unwrap(outer, TransportService) is None
+
+    def test_unwrap_traverses_into_multi_child_layers(self, dots_stack):
+        # A replica layer holds several children; unwrap must both find the
+        # layer itself and dig *through* it into a replica's stack.
+        replica_a = CachingService(dots_stack.backend.query_service(), entries=2)
+        replica_b = TransportService(dots_stack.backend.query_service())
+        replica_layer = ReplicaService([replica_a, replica_b])
+        outer = MetricsService(replica_layer)
+        assert unwrap(outer, ReplicaService) is replica_layer
+        assert replica_layer.replicas == [replica_a, replica_b]
+        assert unwrap(outer, CachingService) is replica_a
+        # The second branch is traversed too, not just the first.
+        assert unwrap(outer, TransportService) is replica_b
+        # kind=None still returns a terminal service (first branch).
+        assert unwrap(outer) is unwrap(replica_a)
+
+    def test_unwrap_negative_path_on_absent_layer_kinds(self, dots_stack):
+        replica_layer = ReplicaService(
+            [dots_stack.backend.query_service(), dots_stack.backend.query_service()]
+        )
+        outer = MetricsService(CachingService(replica_layer, entries=2))
+        # Kinds absent from every branch of the stack come back as None.
+        assert unwrap(outer, TransportService) is None
+        assert unwrap(outer, SerializedService) is None
+        assert unwrap(dots_stack.backend, ReplicaService) is None
 
 
 class TestCachingService:
@@ -156,6 +183,24 @@ class TestBuildService:
         )
         router = unwrap(service, ClusterRouter)
         assert router is not None and router.shard_count == 2
+        router.close()
+
+    def test_replicas_override_builds_replica_sets(self, dots_stack):
+        service = build_service(
+            dots_stack.backend.config,
+            backend=dots_stack.backend,
+            shard_count=2,
+            replicas=2,
+            replica_policy="per_key_affinity",
+        )
+        router = unwrap(service, ClusterRouter)
+        assert router is not None
+        layer = unwrap(service, ReplicaService)
+        assert layer is not None
+        assert layer.replica_count == 2
+        assert layer.policy == "per_key_affinity"
+        assert set(router.replica_sets()) == {0, 1}
+        assert router.describe()["replicas"] == 2
         router.close()
 
     def test_metrics_wrap(self, dots_stack, box_request):
