@@ -1,7 +1,15 @@
 """Benchmark harness reproducing the paper's evaluation (Figures 6 and 7)
 plus the ablations listed in DESIGN.md."""
 
-from .apps import DotsStack, build_dots_application, build_dots_backend, default_config
+from .apps import (
+    DotsStack,
+    EEGStack,
+    build_dots_application,
+    build_dots_backend,
+    build_eeg_application,
+    build_eeg_backend,
+    default_config,
+)
 from .experiments import (
     FootprintResult,
     PrefetchAblationResult,
@@ -26,6 +34,7 @@ from .report import (
 
 __all__ = [
     "DotsStack",
+    "EEGStack",
     "ExperimentResult",
     "FootprintResult",
     "PrefetchAblationResult",
@@ -33,6 +42,8 @@ __all__ = [
     "SeparabilityResult",
     "build_dots_application",
     "build_dots_backend",
+    "build_eeg_application",
+    "build_eeg_backend",
     "build_stack",
     "dataset_for_scale",
     "default_config",

@@ -23,6 +23,7 @@ from ..core import (
     Transform,
     dot_renderer,
 )
+from ..datagen.eeg import EEGSpec, lane_height as eeg_lane_height, load_eeg
 from ..datagen.synthetic import DotDatasetSpec, load_dots
 from ..server.backend import KyrixBackend
 from ..storage.database import Database
@@ -58,6 +59,29 @@ class DotsStack:
         return self.service if self.service is not None else self.backend
 
 
+@dataclass
+class EEGStack:
+    """Everything needed to drive the temporal EEG application."""
+
+    spec: EEGSpec
+    database: Database
+    application: Application
+    compiled: CompiledApplication
+    backend: KyrixBackend
+
+    @property
+    def canvas_id(self) -> str:
+        return "temporal"
+
+    @property
+    def canvas_width(self) -> float:
+        return self.spec.duration_s * 1000.0
+
+    @property
+    def canvas_height(self) -> float:
+        return self.spec.channels * eeg_lane_height(self.spec)
+
+
 def default_config(
     *,
     viewport: int = 1024,
@@ -75,6 +99,70 @@ def default_config(
         prefetch=PrefetchConfig(enabled=prefetch_enabled),
         viewport_width=viewport,
         viewport_height=viewport,
+    )
+
+
+def build_eeg_application(spec: EEGSpec, config: KyrixConfig | None = None) -> Application:
+    """The temporal EEG view: one long canvas, one per-sample dynamic layer.
+
+    Each sample is placed at (time in ms, channel lane offset + amplitude),
+    so panning the canvas is panning through the recording — the MGH
+    scenario of Section 4.  The per-sample transform goes through full
+    placement precomputation (not separable), exercising the same placement
+    tables the usmap parity stacks use.
+    """
+    config = config or default_config()
+    lane_height = eeg_lane_height(spec)
+
+    def place_sample(row):
+        row["px"] = row["t_ms"]
+        row["py"] = row["channel"] * lane_height + lane_height / 2.0 + row["value"]
+        return row
+
+    app = App("eeg", config=config)
+    canvas = Canvas(
+        "temporal",
+        width=spec.duration_s * 1000.0,
+        height=spec.channels * lane_height,
+    )
+    app.add_canvas(canvas)
+    canvas.add_transform(
+        Transform(
+            transform_id="samplesTrans",
+            query="SELECT sample_id, channel, t_ms, value FROM eeg_samples",
+            transform_func=place_sample,
+            columns=("sample_id", "channel", "t_ms", "value", "px", "py"),
+        )
+    )
+    layer = Layer("samplesTrans", False)
+    canvas.add_layer(layer)
+    layer.add_placement(ColumnPlacement(x_column="px", y_column="py"))
+    layer.add_rendering_func(dot_renderer("px", "py"))
+    app.set_initial_canvas("temporal", 0, 0)
+    return app
+
+
+def build_eeg_backend(
+    spec: EEGSpec | None = None,
+    *,
+    config: KyrixConfig | None = None,
+    tile_sizes: tuple[int, ...] = (),
+) -> EEGStack:
+    """Assemble database + synthetic recording + compiled app + backend."""
+    spec = spec or EEGSpec()
+    config = config or default_config()
+    database = Database(config.storage)
+    load_eeg(database, spec)
+    application = build_eeg_application(spec, config)
+    compiled = compile_application(application)
+    backend = KyrixBackend(database, compiled, config)
+    backend.precompute(tile_sizes=tile_sizes)
+    return EEGStack(
+        spec=spec,
+        database=database,
+        application=application,
+        compiled=compiled,
+        backend=backend,
     )
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..cluster import build_cluster
 from ..config import CacheConfig, KyrixConfig, NetworkConfig, PrefetchConfig, StorageConfig
@@ -19,6 +19,7 @@ from ..client.frontend import KyrixFrontend
 from ..client.session import ExplorationSession, SessionResult
 from ..core.viewport import Viewport
 from ..metrics.collector import SummaryStats, summarize
+from ..datagen.eeg import EEGSpec
 from ..datagen.synthetic import DotDatasetSpec, skewed_spec, uniform_spec
 from ..datagen.traces import Trace, paper_traces
 from ..server.dbox import ExactBoxCalculator, ExpandedBoxCalculator
@@ -323,6 +324,9 @@ class ClusterScalingResult:
     dataset: str
     shard_count: int
     strategy: str
+    #: Shard execution topology: ``"threads"`` (in-process, GIL-bound) or
+    #: ``"processes"`` (one worker process per shard replica).
+    workers: str
     sessions: int
     steps: int
     wall_seconds: float
@@ -354,6 +358,7 @@ class ClusterScalingResult:
             "dataset": self.dataset,
             "shards": self.shard_count,
             "strategy": self.strategy,
+            "workers": self.workers,
             "sessions": self.sessions,
             "steps": self.steps,
             "throughput_steps_s": round(self.throughput_steps_per_s, 1),
@@ -430,6 +435,74 @@ def concurrent_pan_workload(
     return [result for result in results if result is not None], wall_seconds
 
 
+#: EEG recording parameters per benchmark scale (see ``eeg_workload``).
+EEG_SCALES = {
+    "tiny": EEGSpec(channels=2, sample_rate_hz=16.0, duration_s=120.0),
+    "smoke": EEGSpec(channels=4, sample_rate_hz=32.0, duration_s=240.0),
+    "bench": EEGSpec(channels=8, sample_rate_hz=64.0, duration_s=600.0),
+}
+
+
+def eeg_pan_traces(
+    canvas_width: float,
+    canvas_height: float,
+    *,
+    viewport_w: float,
+    viewport_h: float,
+    steps: int = 8,
+) -> list[Trace]:
+    """Three rightward time sweeps, one per third of the recording.
+
+    EEG exploration pans through *time*, not across a map, so the Figure 5
+    traces (which need a tall canvas) do not apply; instead each trace
+    sweeps its own third of the canvas left to right.  Sessions replaying
+    different traces therefore live on different time ranges — i.e. on
+    different shards of a time-partitioned cluster — which is exactly the
+    traffic shape that lets process workers execute on separate cores.
+    """
+    traces: list[Trace] = []
+    third = canvas_width / 3.0
+    for index, name in enumerate(("early", "middle", "late")):
+        x0 = index * third
+        span = max(0.0, third - viewport_w)
+        step = span / steps if steps else 0.0
+        y = (canvas_height - viewport_h) * index / 2.0
+        positions = [(x0 + i * step, y) for i in range(steps + 1)]
+        traces.append(
+            Trace(
+                name=name,
+                positions=tuple(positions),
+                description=f"time sweep over the {name} third of the recording",
+            )
+        )
+    return traces
+
+
+def eeg_workload(scale: str = "smoke") -> tuple[Any, str, list[Trace], KyrixConfig]:
+    """The EEG cluster workload: stack, canvas, traces and session config.
+
+    The viewport is a time window (wide, lane-height tall) and the traces
+    sweep it through the recording; the returned configuration carries the
+    matching asymmetric viewport so sessions stay on canvas.
+    """
+    from .apps import build_eeg_backend, eeg_lane_height
+
+    spec = EEG_SCALES.get(scale, EEG_SCALES["smoke"])
+    config = default_config()
+    viewport_w = spec.duration_s * 1000.0 / 8.0
+    viewport_h = spec.channels * eeg_lane_height(spec) * 0.75
+    config.viewport_width = int(viewport_w)
+    config.viewport_height = int(viewport_h)
+    stack = build_eeg_backend(spec, config=config)
+    traces = eeg_pan_traces(
+        stack.canvas_width,
+        stack.canvas_height,
+        viewport_w=viewport_w,
+        viewport_h=viewport_h,
+    )
+    return stack, stack.canvas_id, traces, config
+
+
 def cluster_scaling(
     *,
     scale: str = "smoke",
@@ -440,26 +513,37 @@ def cluster_scaling(
     coalescing: bool = True,
     parallel: bool = True,
     wire_shards: bool | None = None,
+    worker_mode: str = "threads",
 ) -> list[ClusterScalingResult]:
     """Throughput/latency of the sharded cluster at increasing shard counts.
 
     For each dataset, one source stack is precomputed and then sharded at
-    every requested shard count; ``sessions`` concurrent sessions replay the
-    Figure 5 pan traces through the cluster router with the dynamic-box
-    scheme.  ``wall_ms_per_step`` / ``throughput_steps_s`` are measured
+    every requested shard count; ``sessions`` concurrent sessions replay
+    pan traces through the cluster router with the dynamic-box scheme (the
+    Figure 5 traces for the synthetic dot datasets, time sweeps for
+    ``"eeg"``).  ``wall_ms_per_step`` / ``throughput_steps_s`` are measured
     end-to-end wall-clock: with ``parallel=True`` shard queries run on the
     router's thread pool (``parallel=False`` measures the sequential
-    baseline the parity tests compare against).  The latency percentiles
-    summarise the per-step response-time *model* — scatter-gather critical
-    path (slowest shard + merge) plus simulated link time;
-    ``simulated_query_ms`` isolates the query component of that model.
+    baseline the parity tests compare against), and with
+    ``worker_mode="processes"`` every shard replica executes in its own
+    worker process behind a socket transport, so pure-Python query work
+    runs on real parallel cores instead of time-slicing one GIL.  The
+    latency percentiles summarise the per-step response-time *model* —
+    scatter-gather critical path (slowest shard + merge) plus simulated
+    link time; ``simulated_query_ms`` isolates the query component of that
+    model.
     """
     results: list[ClusterScalingResult] = []
     for dataset_name in datasets:
-        stack = build_stack(dataset_name, scale=scale, tile_sizes=())
-        traces = list(
-            paper_traces(stack.spec.canvas_width, stack.spec.canvas_height).values()
-        )
+        session_config: KyrixConfig | None = None
+        if dataset_name == "eeg":
+            stack, canvas_id, traces, session_config = eeg_workload(scale)
+        else:
+            stack = build_stack(dataset_name, scale=scale, tile_sizes=())
+            canvas_id = stack.canvas_id
+            traces = list(
+                paper_traces(stack.spec.canvas_width, stack.spec.canvas_height).values()
+            )
         for shard_count in shard_counts:
             cluster = build_cluster(
                 stack.backend,
@@ -468,6 +552,7 @@ def cluster_scaling(
                 coalescing=coalescing,
                 parallel=parallel,
                 wire_shards=wire_shards,
+                worker_mode=worker_mode,
             )
             # Report what actually ran: the KD partitioner falls back to the
             # grid when a canvas has too little density signal, and that must
@@ -479,12 +564,19 @@ def cluster_scaling(
                 effective if effective == strategy
                 else f"{effective} (requested {strategy})"
             )
-            session_results, wall_seconds = concurrent_pan_workload(
-                cluster.router,
-                stack.canvas_id,
-                traces,
-                sessions=sessions,
-            )
+            try:
+                session_results, wall_seconds = concurrent_pan_workload(
+                    cluster.router,
+                    canvas_id,
+                    traces,
+                    sessions=sessions,
+                    config=session_config,
+                )
+            except BaseException:
+                # A failed workload must not leak the scatter executor or
+                # (in process mode) the forked shard worker processes.
+                cluster.close()
+                raise
             step_times: list[float] = []
             query_times: list[float] = []
             steps = 0
@@ -501,6 +593,7 @@ def cluster_scaling(
                     dataset=dataset_name,
                     shard_count=shard_count,
                     strategy=strategy_label,
+                    workers=worker_mode,
                     sessions=sessions,
                     steps=steps,
                     wall_seconds=wall_seconds,

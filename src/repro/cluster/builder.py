@@ -10,9 +10,15 @@ from ..server.backend import KyrixBackend
 from ..serving.base import DataService
 from ..serving.middleware import CachingService, SerializedService
 from ..serving.replica import ReplicaService
-from ..serving.transport import TransportService
+from ..serving.transport import RemoteBackendStub, TransportService
+from ..serving.worker import (
+    ShardSpec,
+    WorkerPool,
+    build_shard_spec,
+    database_checksum,
+)
 from .partitioner import Partitioning
-from .router import ClusterRouter
+from .router import ClusterRouter, replica_key
 from .sharded import ShardedIndexer, ShardHandle
 
 
@@ -23,16 +29,25 @@ class ShardedCluster:
     router: ClusterRouter
     shards: list[ShardHandle]
     partitionings: dict[str, Partitioning]
+    #: The worker-process pool serving the shards, when the cluster was
+    #: built with ``worker_mode="processes"``; ``None`` for in-process
+    #: (thread) topologies.
+    worker_pool: WorkerPool | None = None
 
     @property
     def shard_count(self) -> int:
         return len(self.shards)
 
     def describe(self) -> dict[str, Any]:
-        return self.router.describe()
+        description = self.router.describe()
+        if self.worker_pool is not None:
+            description["workers"] = self.worker_pool.describe()
+        return description
 
     def close(self) -> None:
         self.router.close()
+        if self.worker_pool is not None:
+            self.worker_pool.close()
 
 
 def shard_service(shard: ShardHandle, *, wire: bool) -> DataService:
@@ -92,6 +107,60 @@ def replica_service(
     )
 
 
+def _spawn_worker_topology(
+    shards: list[ShardHandle],
+    cluster_config: ClusterConfig,
+    config: KyrixConfig,
+    compiled: Any,
+) -> WorkerPool:
+    """Fork one worker process per shard replica and attach their stacks.
+
+    Unlike the thread topology, every replica rebuilds its **own copy** of
+    the shard index inside its process (nothing is shared), which is what
+    makes the per-replica divergence checksums in
+    :class:`~repro.cluster.router.ClusterStats` meaningful.  Each shard's
+    serving stack becomes a :class:`~repro.serving.transport.RemoteBackendStub`
+    over a :class:`~repro.net.socket_transport.SocketTransport` per replica
+    — fronted by a :class:`~repro.serving.replica.ReplicaService` when the
+    configuration asks for more than one replica.
+    """
+    specs: list[ShardSpec] = []
+    for shard in shards:
+        # One dump (and one pickled payload) per shard: the pool runs the
+        # same spec object once per replica, so N replicas do not mean N
+        # copies of the rows in the parent.
+        shard_spec = build_shard_spec(
+            shard.database, compiled, config, shard_id=shard.shard_id
+        )
+        specs.extend([shard_spec] * cluster_config.replicas)
+    pool = WorkerPool(
+        specs,
+        port_base=cluster_config.worker_port_base,
+        spawn_timeout_s=cluster_config.worker_spawn_timeout_s,
+    )
+    pool.start()
+    for shard in shards:
+        stubs: list[DataService] = [
+            RemoteBackendStub(
+                pool.handle_for(shard.shard_id, replica_index).transport(),
+                compiled,
+                config,
+            )
+            for replica_index in range(cluster_config.replicas)
+        ]
+        if cluster_config.replicas > 1:
+            shard.service = ReplicaService(
+                stubs,
+                policy=cluster_config.replica_policy,
+                retry_limit=cluster_config.replica_retry_limit,
+                breaker_threshold=cluster_config.breaker_threshold,
+                breaker_reset_s=cluster_config.breaker_reset_s,
+            )
+        else:
+            shard.service = stubs[0]
+    return pool
+
+
 def build_cluster(
     source_backend: KyrixBackend,
     *,
@@ -102,6 +171,7 @@ def build_cluster(
     wire_shards: bool | None = None,
     replicas: int | None = None,
     replica_policy: str | None = None,
+    worker_mode: str | None = None,
     tile_sizes: tuple[int, ...] = (),
 ) -> ShardedCluster:
     """Shard a precomputed backend into a scatter-gather serving cluster.
@@ -111,7 +181,9 @@ def build_cluster(
     keyword arguments override the corresponding ``config.cluster`` fields
     for this build only; ``tile_sizes`` pre-builds per-shard tuple–tile
     mapping tables so the mapping design serves its first tile request
-    without a lazy build.
+    without a lazy build.  With ``worker_mode="processes"`` every shard
+    replica runs in its own forked worker process behind a socket transport
+    (see :mod:`repro.serving.worker`).
     """
     config = source_backend.config
     cluster_config = config.cluster
@@ -124,6 +196,7 @@ def build_cluster(
             ("wire_shards", wire_shards),
             ("replicas", replicas),
             ("replica_policy", replica_policy),
+            ("worker_mode", worker_mode),
         )
         if value is not None
     }
@@ -137,13 +210,19 @@ def build_cluster(
         cluster_config=cluster_config,
     )
     shards, partitionings = indexer.build_shards(tile_sizes=tile_sizes)
-    for shard in shards:
-        if cluster_config.replicas > 1:
-            shard.service = replica_service(
-                shard, cluster_config, config, wire=cluster_config.wire_shards
-            )
-        else:
-            shard.service = shard_service(shard, wire=cluster_config.wire_shards)
+    pool: WorkerPool | None = None
+    if cluster_config.worker_mode == "processes":
+        pool = _spawn_worker_topology(
+            shards, cluster_config, config, source_backend.compiled
+        )
+    else:
+        for shard in shards:
+            if cluster_config.replicas > 1:
+                shard.service = replica_service(
+                    shard, cluster_config, config, wire=cluster_config.wire_shards
+                )
+            else:
+                shard.service = shard_service(shard, wire=cluster_config.wire_shards)
     router = ClusterRouter(
         shards,
         partitionings,
@@ -152,7 +231,28 @@ def build_cluster(
         cluster_config=cluster_config,
         coalescing=coalescing,
     )
-    cluster = ShardedCluster(router=router, shards=shards, partitionings=partitionings)
+    # Per-replica index checksums: workers report the hash of their own
+    # rebuilt copy; in-process *replica sets* share the shard's index, so
+    # its hash is recorded once per replica.  Either way the same content
+    # hashes to the same value, so divergence detection is topology-blind.
+    # Single-replica thread clusters (the common fast path) skip the hash
+    # entirely — with one in-process copy per shard there is nothing to
+    # diverge from, and hashing every row would tax every build.
+    if pool is not None:
+        for handle in pool.handles:
+            router.stats.replica_checksums[
+                replica_key(handle.shard_id, handle.replica_index)
+            ] = handle.checksum
+    elif cluster_config.replicas > 1:
+        for shard in shards:
+            checksum = database_checksum(shard.database)
+            for replica_index in range(cluster_config.replicas):
+                router.stats.replica_checksums[
+                    replica_key(shard.shard_id, replica_index)
+                ] = checksum
+    cluster = ShardedCluster(
+        router=router, shards=shards, partitionings=partitionings, worker_pool=pool
+    )
     # The router carries its cluster handle so callers that only hold the
     # service stack (e.g. `serving.build_service` output) can reach shard
     # bookkeeping without rebuilding a second ShardedCluster.

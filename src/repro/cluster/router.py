@@ -59,6 +59,16 @@ from .partitioner import Partitioning
 from .sharded import ShardHandle
 
 
+def replica_key(shard_id: int, replica_index: int) -> str:
+    """The canonical ``"shard{S}/replica{R}"`` key of per-replica stats maps.
+
+    Every producer of :class:`ClusterStats` per-replica entries must format
+    keys through this helper so :meth:`ClusterStats.divergent_replicas`
+    can parse them back.
+    """
+    return f"shard{shard_id}/replica{replica_index}"
+
+
 @dataclass
 class ClusterStats:
     """Aggregate counters over the router's lifetime."""
@@ -78,9 +88,15 @@ class ClusterStats:
     per_replica_requests: dict[str, int] = field(default_factory=dict)
     #: Per-replica failed-attempt counts, same keys.
     per_replica_failures: dict[str, int] = field(default_factory=dict)
+    #: Content hash of each replica's shard index, keyed
+    #: ``"shard{S}/replica{R}"`` (recorded at build time).  In-process
+    #: replicas share the shard's immutable index, so their checksums are
+    #: equal by construction; process workers hash their own rebuilt copy,
+    #: making a corrupted or stale replica index detectable.
+    replica_checksums: dict[str, str] = field(default_factory=dict)
 
     def record_replica_attempt(self, shard_id: int, replica_index: int, ok: bool) -> None:
-        key = f"shard{shard_id}/replica{replica_index}"
+        key = replica_key(shard_id, replica_index)
         self.per_replica_requests[key] = self.per_replica_requests.get(key, 0) + 1
         if not ok:
             self.per_replica_failures[key] = self.per_replica_failures.get(key, 0) + 1
@@ -97,6 +113,23 @@ class ClusterStats:
     def average_fanout(self) -> float:
         return self.shard_queries / self.scatter_gathers if self.scatter_gathers else 0.0
 
+    def divergent_replicas(self) -> dict[int, dict[str, str]]:
+        """Shards whose replicas do not all hold the same index content.
+
+        Returns ``{shard_id: {"shard{S}/replica{R}": checksum, ...}}`` for
+        every shard with more than one distinct replica checksum — empty
+        when all replica sets agree (the healthy state).
+        """
+        by_shard: dict[int, dict[str, str]] = {}
+        for key, checksum in self.replica_checksums.items():
+            shard_id = int(key.split("/", 1)[0].removeprefix("shard"))
+            by_shard.setdefault(shard_id, {})[key] = checksum
+        return {
+            shard_id: checksums
+            for shard_id, checksums in by_shard.items()
+            if len(set(checksums.values())) > 1
+        }
+
     def reset(self) -> None:
         self.requests = 0
         self.cache_hits = 0
@@ -109,6 +142,8 @@ class ClusterStats:
         self.fanout.clear()
         self.per_replica_requests.clear()
         self.per_replica_failures.clear()
+        # replica_checksums describe the built topology, not traffic, so a
+        # stats reset deliberately leaves them in place.
 
 
 class _ScatterGatherService:
@@ -264,7 +299,7 @@ class ClusterRouter:
             self.handle(request)
 
     def close(self) -> None:
-        """Shut down the scatter executor and the shard serving stacks."""
+        """Shut down the scatter executor, shard stacks and worker processes."""
         with self._executor_lock:
             executor, self._executor = self._executor, None
             self._closed = True
@@ -272,6 +307,11 @@ class ClusterRouter:
             executor.shutdown(wait=True)
         for shard in self.shards:
             shard.close()
+        # Callers that only hold the service stack (build_service output)
+        # must still be able to drain a process-worker topology.
+        pool = getattr(self.cluster, "worker_pool", None)
+        if pool is not None:
+            pool.close()
 
     # -- scatter-gather ----------------------------------------------------------------
 
@@ -412,6 +452,7 @@ class ClusterRouter:
             "wire_shards": self.cluster_config.wire_shards,
             "replicas": self.cluster_config.replicas,
             "replica_policy": self.cluster_config.replica_policy,
+            "worker_mode": self.cluster_config.worker_mode,
             "shards": [
                 {
                     "shard_id": shard.shard_id,

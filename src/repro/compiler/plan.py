@@ -9,7 +9,7 @@ the indexer work exclusively from this plan, never from the raw spec.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from ..core.application import Application
@@ -67,6 +67,18 @@ class LayerPlan:
     def key(self) -> tuple[str, int]:
         return (self.canvas_id, self.layer_index)
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable form (``columns`` stays a list on the wire)."""
+        data = asdict(self)
+        data["columns"] = list(self.columns)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LayerPlan":
+        data = dict(data)
+        data["columns"] = tuple(data.get("columns", ()))
+        return cls(**data)
+
 
 @dataclass
 class CanvasPlan:
@@ -80,6 +92,25 @@ class CanvasPlan:
 
     def dynamic_layers(self) -> list[LayerPlan]:
         return [layer for layer in self.layers if not layer.static]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "canvas_id": self.canvas_id,
+            "width": self.width,
+            "height": self.height,
+            "zoom_level": self.zoom_level,
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CanvasPlan":
+        return cls(
+            canvas_id=data["canvas_id"],
+            width=data["width"],
+            height=data["height"],
+            zoom_level=data["zoom_level"],
+            layers=[LayerPlan.from_dict(layer) for layer in data.get("layers", [])],
+        )
 
 
 @dataclass
@@ -118,6 +149,34 @@ class CompiledApplication:
         for canvas in self.canvases.values():
             plans.extend(canvas.layers)
         return plans
+
+    def to_dict(self) -> dict[str, Any]:
+        """The plan as plain JSON-serialisable data.
+
+        The attached ``spec`` (live :class:`Application` with transform
+        closures and renderer callables) is deliberately dropped: the dict
+        form is what ships to shard worker processes, which serve purely
+        from the compiled plan and the precomputed tables.
+        """
+        return {
+            "app_name": self.app_name,
+            "canvases": {
+                canvas_id: plan.to_dict()
+                for canvas_id, plan in self.canvases.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CompiledApplication":
+        """Rebuild a (spec-less) plan from its :meth:`to_dict` form."""
+        return cls(
+            app_name=data["app_name"],
+            canvases={
+                canvas_id: CanvasPlan.from_dict(plan)
+                for canvas_id, plan in data.get("canvases", {}).items()
+            },
+            spec=None,
+        )
 
     def describe(self) -> dict[str, Any]:
         return {

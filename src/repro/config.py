@@ -116,6 +116,12 @@ class PrefetchConfig:
 #: (:class:`~repro.serving.replica.ReplicaService` re-exports this).
 REPLICA_POLICIES = ("round_robin", "least_inflight", "per_key_affinity")
 
+#: How shard replicas execute: ``"threads"`` keeps every shard engine in
+#: the router's process behind a lock; ``"processes"`` forks one worker
+#: process per shard replica speaking the wire envelope over localhost TCP
+#: (:mod:`repro.serving.worker`), removing the GIL from the scatter path.
+WORKER_MODES = ("threads", "processes")
+
 
 @dataclass
 class ClusterConfig:
@@ -177,6 +183,20 @@ class ClusterConfig:
     breaker_reset_s:
         Seconds an open breaker waits before letting one trial request
         probe the replica again.
+    worker_mode:
+        ``"threads"`` (default) serves every shard replica in-process
+        behind a :class:`~repro.serving.middleware.SerializedService`
+        lock; ``"processes"`` forks one worker process per shard replica
+        (:mod:`repro.serving.worker`) speaking the wire envelope over
+        length-prefixed frames on localhost TCP, so pure-Python shard
+        queries execute on real parallel cores.
+    worker_port_base:
+        First TCP port assigned to worker processes (worker ``i`` binds
+        ``worker_port_base + i``); ``0`` (default) lets every worker bind
+        an ephemeral port and report it back.
+    worker_spawn_timeout_s:
+        Seconds the cluster builder waits for each worker process to
+        report ready before failing the build.
     """
 
     enabled: bool = False
@@ -193,6 +213,9 @@ class ClusterConfig:
     replica_retry_limit: int = 0
     breaker_threshold: int = 3
     breaker_reset_s: float = 30.0
+    worker_mode: str = "threads"
+    worker_port_base: int = 0
+    worker_spawn_timeout_s: float = 10.0
 
     def validate(self) -> None:
         if self.shard_count < 1:
@@ -217,6 +240,14 @@ class ClusterConfig:
             )
         if self.breaker_reset_s < 0:
             raise KyrixError("breaker_reset_s must be non-negative")
+        if self.worker_mode not in WORKER_MODES:
+            raise KyrixError(f"unknown worker mode: {self.worker_mode!r}")
+        if not 0 <= self.worker_port_base <= 65535:
+            raise KyrixError(
+                f"worker_port_base must be in [0, 65535], got {self.worker_port_base}"
+            )
+        if self.worker_spawn_timeout_s <= 0:
+            raise KyrixError("worker_spawn_timeout_s must be positive")
 
 
 @dataclass

@@ -50,6 +50,17 @@ class EEGSpec:
         return int(self.duration_s / self.epoch_s)
 
 
+def lane_height(spec: EEGSpec) -> float:
+    """Vertical extent of one channel's lane on the temporal canvas.
+
+    The single source of the lane layout: :func:`generate_samples` places
+    samples with it and every consumer of the canvas geometry (the EEG
+    example/benchmark applications) must use it rather than re-deriving
+    the scale factor.
+    """
+    return spec.amplitude_uv * 4.0
+
+
 def generate_channel(spec: EEGSpec, channel: int) -> np.ndarray:
     """Synthesise one channel as a float array of micro-volt samples."""
     rng = np.random.default_rng(spec.seed + channel)
@@ -70,11 +81,11 @@ def generate_samples(spec: EEGSpec) -> Iterator[tuple]:
     The bbox places each sample on the temporal canvas: x = time in
     milliseconds, y = channel lane offset + scaled amplitude.
     """
-    lane_height = spec.amplitude_uv * 4.0
+    lane = lane_height(spec)
     sample_id = 0
     for channel in range(spec.channels):
         signal = generate_channel(spec, channel)
-        lane_center = channel * lane_height + lane_height / 2.0
+        lane_center = channel * lane + lane / 2.0
         for index, value in enumerate(signal):
             t_ms = index / spec.sample_rate_hz * 1000.0
             y = lane_center + float(value)

@@ -168,6 +168,43 @@ class AllReplicasFailedError(ServerError):
         )
 
 
+class WorkerError(ServerError):
+    """Base class for shard-worker-process failures."""
+
+
+class WorkerSpawnError(WorkerError):
+    """A shard worker process failed to start (or to report ready in time)."""
+
+
+class WorkerConnectionError(WorkerError):
+    """The TCP connection to a shard worker failed (refused, reset, torn).
+
+    Raised by :class:`~repro.net.socket_transport.SocketTransport` whenever a
+    round-trip cannot complete at the socket level — the worker process is
+    dead or unreachable, as opposed to the worker *answering* with an error.
+    A replica set treats this as fatal for the replica and opens its circuit
+    breaker immediately (a refused connection will not heal by retrying the
+    very next request).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Socket framing
+# ---------------------------------------------------------------------------
+
+
+class FrameError(KyrixError):
+    """Base class for length-prefixed frame codec failures."""
+
+
+class FrameTooLargeError(FrameError):
+    """A frame's declared (or encoded) size exceeds the codec's limit."""
+
+
+class TruncatedFrameError(FrameError):
+    """The stream ended mid-frame (inside a header or a payload)."""
+
+
 # ---------------------------------------------------------------------------
 # Frontend client
 # ---------------------------------------------------------------------------

@@ -1,6 +1,25 @@
-"""Frontend <-> backend communication: wire protocol and simulated link."""
+"""Frontend <-> backend communication: wire protocol, framing and links."""
 
 from .link import LinkStats, SimulatedLink
 from .protocol import DataRequest, DataResponse
+from .socket_transport import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    SocketTransport,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
 
-__all__ = ["DataRequest", "DataResponse", "LinkStats", "SimulatedLink"]
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DataRequest",
+    "DataResponse",
+    "FrameDecoder",
+    "LinkStats",
+    "SimulatedLink",
+    "SocketTransport",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

@@ -40,6 +40,7 @@ from .faults import (
     FaultSchedule,
     InjectedFaultError,
     fault_replica,
+    kill_worker,
 )
 from .middleware import (
     CachingService,
@@ -55,6 +56,14 @@ from .transport import (
     ShardTransport,
     TransportError,
     TransportService,
+)
+from .worker import (
+    ShardSpec,
+    WorkerHandle,
+    WorkerPool,
+    build_shard_spec,
+    database_checksum,
+    worker_main,
 )
 
 __all__ = [
@@ -75,11 +84,18 @@ __all__ = [
     "SerializedService",
     "ServiceMetrics",
     "ServiceMiddleware",
+    "ShardSpec",
     "ShardTransport",
     "TransportError",
     "TransportService",
+    "WorkerHandle",
+    "WorkerPool",
     "build_service",
+    "build_shard_spec",
+    "database_checksum",
     "fault_replica",
+    "kill_worker",
     "stack_layers",
     "unwrap",
+    "worker_main",
 ]

@@ -44,6 +44,7 @@ def build_service(
     wire_shards: bool | None = None,
     replicas: int | None = None,
     replica_policy: str | None = None,
+    worker_mode: str | None = None,
     metrics: bool = False,
 ) -> "DataService":
     """Build the configured serving stack and return its outermost service.
@@ -73,6 +74,11 @@ def build_service(
         shard serves through a
         :class:`~repro.serving.replica.ReplicaService` (load balancing,
         circuit breaking, failover).  Only meaningful for sharded stacks.
+    worker_mode:
+        Per-build override of ``config.cluster.worker_mode``:
+        ``"processes"`` forks one worker process per shard replica behind
+        a socket transport (:mod:`repro.serving.worker`) instead of the
+        in-process thread topology.  Only meaningful for sharded stacks.
     metrics:
         Wrap the stack in a :class:`~repro.serving.middleware.MetricsService`
         recording per-request latency breakdowns.
@@ -104,6 +110,7 @@ def build_service(
             wire_shards=wire_shards,
             replicas=replicas,
             replica_policy=replica_policy,
+            worker_mode=worker_mode,
             tile_sizes=tile_sizes,
         )
         service: "DataService" = cluster.router

@@ -263,3 +263,31 @@ def fault_replica(
     )
     replica_service.replicas[index] = injector
     return injector
+
+
+def kill_worker(cluster: Any, shard_id: int, replica_index: int = 0) -> Any:
+    """SIGKILL one shard worker process of a process-topology cluster.
+
+    The chaos-testing counterpart of :func:`fault_replica` for
+    ``worker_mode="processes"``: the worker dies for real (no schedules, no
+    wrappers), its sockets reset, and every later call to that replica
+    surfaces as a :class:`~repro.errors.WorkerConnectionError` — which the
+    replica layer treats as fatal, opening the breaker immediately.
+    Accepts a :class:`~repro.cluster.builder.ShardedCluster`, a
+    :class:`~repro.cluster.router.ClusterRouter` built over workers, or a
+    :class:`~repro.serving.worker.WorkerPool` directly; returns the killed
+    worker's :class:`~repro.serving.worker.WorkerHandle`.
+    """
+    pool = getattr(cluster, "worker_pool", None)
+    if pool is None:
+        # A router only carries the pool through its cluster backref.
+        owner = getattr(cluster, "cluster", None)
+        pool = getattr(owner, "worker_pool", None)
+    if pool is None and hasattr(cluster, "kill"):
+        pool = cluster
+    if pool is None:
+        raise KyrixError(
+            "kill_worker needs a process-topology cluster "
+            "(built with worker_mode='processes') or a WorkerPool"
+        )
+    return pool.kill(shard_id, replica_index)

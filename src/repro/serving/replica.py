@@ -24,7 +24,9 @@ Three concerns live here and nowhere else:
   the injected clock, so tests drive it with a
   :class:`~repro.metrics.timer.VirtualClock`) one trial request probes the
   replica — success closes the breaker, failure re-opens it with a fresh
-  timer.
+  timer.  A :class:`~repro.errors.WorkerConnectionError` (the replica's
+  worker process refused or tore the connection — it is *gone*, not
+  merely erroring) is fatal and opens the breaker on the first failure.
 * **Failover** — a replica exception (or a response that arrived after
   ``timeout_ms`` of clock time, raised as
   :class:`~repro.errors.ReplicaTimeoutError`) marks the attempt failed and
@@ -47,7 +49,12 @@ import zlib
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Sequence
 
 from ..config import REPLICA_POLICIES
-from ..errors import AllReplicasFailedError, FetchError, ReplicaTimeoutError
+from ..errors import (
+    AllReplicasFailedError,
+    FetchError,
+    ReplicaTimeoutError,
+    WorkerConnectionError,
+)
 from ..metrics.collector import MetricsCollector
 
 if TYPE_CHECKING:
@@ -288,7 +295,7 @@ class ReplicaService:
 
     # -- health -------------------------------------------------------------
 
-    def _finish_attempt(self, index: int, ok: bool) -> None:
+    def _finish_attempt(self, index: int, ok: bool, *, fatal: bool = False) -> None:
         opened = False
         with self._lock:
             self._inflight[index] -= 1
@@ -303,7 +310,11 @@ class ReplicaService:
                 if health.open_since_ms is not None:
                     # A failed trial probe: re-open with a fresh timer.
                     health.open_since_ms = now_ms
-                elif health.consecutive_failures >= self.breaker_threshold:
+                elif fatal or health.consecutive_failures >= self.breaker_threshold:
+                    # A fatal failure (the worker's connection was refused —
+                    # the process behind the replica is gone) opens the
+                    # breaker immediately instead of burning ``threshold``
+                    # doomed attempts on a dead endpoint.
                     health.open_since_ms = now_ms
                     opened = True
         self.stats.record_attempt(index)
@@ -344,7 +355,9 @@ class ReplicaService:
                     )
             except Exception as error:  # noqa: BLE001 - failover boundary
                 causes[index] = error
-                self._finish_attempt(index, ok=False)
+                self._finish_attempt(
+                    index, ok=False, fatal=isinstance(error, WorkerConnectionError)
+                )
                 continue
             self._finish_attempt(index, ok=True)
             if causes:

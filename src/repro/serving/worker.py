@@ -1,0 +1,466 @@
+"""Process-based shard workers: the scatter path without the GIL.
+
+Every topology so far kept shard engines in the router's process behind a
+:class:`~repro.serving.middleware.SerializedService` lock, so multi-shard
+scatter-gathers parallelised I/O but never pure-Python query execution.
+This module moves each shard replica into its **own worker process**:
+
+* :class:`ShardSpec` — a fully serialisable description of one shard: the
+  application's compiled plan (:meth:`CompiledApplication.to_dict`,
+  closures dropped), the configuration, and a dump of every table in the
+  shard's database (schema, rows, index definitions).  Replicas run the
+  same spec; each worker reports the :func:`database_checksum` of its own
+  *rebuilt* index, so divergent replica rebuilds are detectable.
+* :func:`worker_main` — the worker process entry point: rebuild the shard
+  database from the spec, compose the shard's serving stack
+  (``LocalTransport ∘ CachingService ∘ SerializedService`` over the
+  backend's query core — exactly the per-replica stack the in-process
+  topology builds), then answer :mod:`repro.net.protocol` envelopes over
+  length-prefixed frames on a localhost TCP socket until told to stop.
+  ``SIGTERM`` drains: in-flight requests finish, the listener closes, the
+  process exits 0.
+* :class:`WorkerPool` — the parent-side manager: forks one process per
+  spec, waits for each worker's ready report (bound port + index checksum)
+  within ``spawn_timeout_s``, hands out
+  :class:`~repro.net.socket_transport.SocketTransport` endpoints, and on
+  ``close()`` terminates and joins every worker.
+
+The wire above the socket is byte-identical to the in-process transport
+pair, which is what makes the cross-topology parity suite
+(``tests/cluster/test_topology_parity.py``) possible: the router cannot
+tell a :class:`~repro.serving.transport.LocalTransport` from a worker
+process on the other end of a frame stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import signal
+import socket
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..compiler.plan import CompiledApplication
+from ..config import KyrixConfig
+from ..errors import WorkerError, WorkerSpawnError
+from ..net.socket_transport import SocketTransport, serve_connection
+from .middleware import CachingService, SerializedService
+from .transport import LocalTransport
+
+if TYPE_CHECKING:
+    from ..storage.database import Database
+
+__all__ = [
+    "ShardSpec",
+    "TableDump",
+    "WorkerHandle",
+    "WorkerPool",
+    "build_shard_spec",
+    "database_checksum",
+    "worker_main",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shard specification (what crosses the process boundary)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableDump:
+    """One table of a shard database in transportable form."""
+
+    name: str
+    #: ``(column_name, type_name)`` pairs, schema order.
+    columns: tuple[tuple[str, str], ...]
+    #: Heap rows in scan order (plain tuples of column values).
+    rows: tuple[tuple, ...]
+    #: ``(index_name, column, kind, unique)`` definitions.
+    indexes: tuple[tuple[str, str, str, bool], ...]
+
+
+def _dump_database(database: "Database") -> tuple[TableDump, ...]:
+    """Dump every table of a database, sorted by table name."""
+    dumps: list[TableDump] = []
+    for name in database.table_names:
+        table = database.table(name)
+        dumps.append(
+            TableDump(
+                name=name,
+                columns=tuple(
+                    (column.name, column.type.value)
+                    for column in table.schema.columns
+                ),
+                rows=tuple(table.scan_rows()),
+                indexes=tuple(
+                    sorted(
+                        (info.name, info.column, info.kind, info.unique)
+                        for info in table.indexes.values()
+                    )
+                ),
+            )
+        )
+    return tuple(dumps)
+
+
+def _restore_database(dumps: tuple[TableDump, ...], config: KyrixConfig) -> "Database":
+    """Materialise a database from a dump (the worker-side inverse)."""
+    from ..storage.database import Database
+
+    database = Database(config.storage)
+    for dump in dumps:
+        table = database.create_table(dump.name, list(dump.columns))
+        table.bulk_load(dump.rows)
+        for index_name, column, kind, unique in dump.indexes:
+            table.create_index(index_name, column, kind, unique=unique)
+    return database
+
+
+def _checksum_dumps(dumps: tuple[TableDump, ...]) -> str:
+    """A stable content hash over a table dump (schema + rows + indexes)."""
+    digest = hashlib.sha256()
+    for dump in dumps:
+        digest.update(repr((dump.name, dump.columns, dump.indexes)).encode("utf-8"))
+        for row in dump.rows:
+            digest.update(repr(row).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def database_checksum(database: "Database") -> str:
+    """Content hash of a live database (same algorithm as the worker's).
+
+    The in-process topology uses this to record per-replica index checksums
+    in :class:`~repro.cluster.router.ClusterStats`; a worker process hashes
+    its rebuilt dump instead — identical content hashes either way, so the
+    divergence check is topology-independent.
+    """
+    return _checksum_dumps(_dump_database(database))
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker process needs to serve one shard.
+
+    Replica identity is deliberately *not* part of the spec: every replica
+    of a shard rebuilds from the identical bytes, so the pool pickles one
+    payload per shard and assigns replica indexes on the parent side.
+    """
+
+    shard_id: int
+    #: ``KyrixConfig.to_dict()`` of the cluster's configuration.
+    config: dict
+    #: ``CompiledApplication.to_dict()`` — the plan without live closures.
+    plan: dict
+    tables: tuple[TableDump, ...]
+
+    def checksum(self) -> str:
+        return _checksum_dumps(self.tables)
+
+    def to_payload(self) -> bytes:
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "ShardSpec":
+        spec = pickle.loads(payload)
+        if not isinstance(spec, cls):
+            raise WorkerError(
+                f"worker payload decoded to {type(spec).__name__}, not ShardSpec"
+            )
+        return spec
+
+
+def build_shard_spec(
+    database: "Database",
+    compiled: CompiledApplication,
+    config: KyrixConfig,
+    *,
+    shard_id: int,
+) -> ShardSpec:
+    """Serialise one shard's database into a worker-transportable spec."""
+    return ShardSpec(
+        shard_id=shard_id,
+        config=config.to_dict(),
+        plan=compiled.to_dict(),
+        tables=_dump_database(database),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _build_worker_stack(spec: ShardSpec) -> tuple[LocalTransport, "Database"]:
+    """The worker's serving stack: ``LocalTransport ∘ Caching ∘ Serialized``."""
+    from ..server.backend import KyrixBackend
+
+    config = KyrixConfig.from_dict(spec.config)
+    compiled = CompiledApplication.from_dict(spec.plan)
+    database = _restore_database(spec.tables, config)
+    backend = KyrixBackend(database, compiled, config)
+    cache_entries = config.cache.backend_entries if config.cache.enabled else 0
+    stack = CachingService(
+        SerializedService(backend.query_service()), entries=cache_entries
+    )
+    return LocalTransport(stack), database
+
+
+def worker_main(payload: bytes, port: int, ready_conn: Any) -> None:
+    """Entry point of one shard worker process.
+
+    ``payload`` is a pickled :class:`ShardSpec`; ``port`` the TCP port to
+    bind (0 for an ephemeral port); ``ready_conn`` a pipe the worker reports
+    ``{"port", "pid", "checksum"}`` on once it is accepting connections (or
+    ``{"error": ...}`` if it failed to come up).
+    """
+    stop = threading.Event()
+
+    def _terminate(_signum: int, _frame: Any) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+
+    try:
+        spec = ShardSpec.from_payload(payload)
+        transport, database = _build_worker_stack(spec)
+        listener = socket.create_server(("127.0.0.1", port))
+    except Exception as error:  # noqa: BLE001 - reported to the parent
+        try:
+            ready_conn.send({"error": f"{type(error).__name__}: {error}"})
+        finally:
+            ready_conn.close()
+        return
+
+    listener.settimeout(0.1)
+    ready_conn.send(
+        {
+            "port": listener.getsockname()[1],
+            "pid": os.getpid(),
+            # Hash of the *rebuilt* database, not of the received spec —
+            # a rebuild that lost or corrupted rows must hash differently
+            # from its siblings so divergent_replicas() can catch it.
+            "checksum": database_checksum(database),
+        }
+    )
+    ready_conn.close()
+
+    active: list[threading.Thread] = []
+
+    def _serve(conn: socket.socket) -> None:
+        with conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            for _ in serve_connection(conn, transport.roundtrip):
+                if stop.is_set():
+                    # Drain semantics: the reply that was just written
+                    # completes the in-flight request; stop reading more.
+                    return
+
+    try:
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(target=_serve, args=(conn,), daemon=True)
+            thread.start()
+            active.append(thread)
+            active = [t for t in active if t.is_alive()]
+    finally:
+        listener.close()
+        # Drain: give in-flight request threads a moment to write replies.
+        for thread in active:
+            thread.join(timeout=1.0)
+        transport.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side pool
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerHandle:
+    """One live worker process as seen from the parent."""
+
+    shard_id: int
+    replica_index: int
+    process: Any
+    port: int
+    pid: int
+    #: Content hash of the worker's rebuilt shard index, as reported by the
+    #: worker itself (not recomputed in the parent).
+    checksum: str
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def transport(self, **kwargs: Any) -> SocketTransport:
+        return SocketTransport("127.0.0.1", self.port, **kwargs)
+
+
+class WorkerPool:
+    """Forks, tracks and terminates the shard worker processes of a cluster.
+
+    ``specs`` holds one entry per worker; passing the *same* spec object
+    several times runs that many replicas of the shard (the payload is
+    pickled once per distinct spec and replica indexes are assigned in
+    list order per shard).  ``port_base`` of 0 (the default) lets every
+    worker bind an ephemeral port and report it back; a positive base
+    assigns ``base + index`` per worker (useful when firewalls need
+    predictable ports).  Workers that do not report ready within
+    ``spawn_timeout_s`` — or report an error — fail the whole
+    :meth:`start`, which tears down anything already running.
+    """
+
+    def __init__(
+        self,
+        specs: list[ShardSpec],
+        *,
+        port_base: int = 0,
+        spawn_timeout_s: float = 10.0,
+        start_method: str | None = None,
+    ) -> None:
+        if not specs:
+            raise WorkerError("a worker pool needs at least one shard spec")
+        self.specs = list(specs)
+        self.port_base = port_base
+        self.spawn_timeout_s = spawn_timeout_s
+        if start_method is None:
+            # fork is dramatically cheaper than spawn and the specs are
+            # fully picklable either way; fall back where fork is absent.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+        self.handles: list[WorkerHandle] = []
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> list[WorkerHandle]:
+        """Fork every worker and wait for all of them to report ready."""
+        if self.handles:
+            raise WorkerError("worker pool already started")
+        pending: list[tuple[ShardSpec, int, Any, Any]] = []
+        # Replicas of one shard rebuild from identical bytes: pickle each
+        # distinct spec object once, not once per replica.
+        payloads: dict[int, bytes] = {}
+        replica_counts: dict[int, int] = {}
+        try:
+            for index, spec in enumerate(self.specs):
+                replica_index = replica_counts.get(spec.shard_id, 0)
+                replica_counts[spec.shard_id] = replica_index + 1
+                payload = payloads.get(id(spec))
+                if payload is None:
+                    payload = payloads[id(spec)] = spec.to_payload()
+                parent_conn, child_conn = self._context.Pipe(duplex=False)
+                port = self.port_base + index if self.port_base else 0
+                process = self._context.Process(
+                    target=worker_main,
+                    args=(payload, port, child_conn),
+                    name=f"kyrix-worker-s{spec.shard_id}r{replica_index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                pending.append((spec, replica_index, process, parent_conn))
+            for spec, replica_index, process, parent_conn in pending:
+                if not parent_conn.poll(self.spawn_timeout_s):
+                    raise WorkerSpawnError(
+                        f"worker shard{spec.shard_id}/replica{replica_index} "
+                        f"did not report ready within {self.spawn_timeout_s}s"
+                    )
+                report = parent_conn.recv()
+                parent_conn.close()
+                if "error" in report:
+                    raise WorkerSpawnError(
+                        f"worker shard{spec.shard_id}/replica{replica_index} "
+                        f"failed to start: {report['error']}"
+                    )
+                self.handles.append(
+                    WorkerHandle(
+                        shard_id=spec.shard_id,
+                        replica_index=replica_index,
+                        process=process,
+                        port=report["port"],
+                        pid=report["pid"],
+                        checksum=report["checksum"],
+                    )
+                )
+        except BaseException:
+            for _, _, process, _ in pending:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=2.0)
+            self.handles.clear()
+            raise
+        # The specs (full table dumps) were only needed to seed the forks;
+        # dropping them keeps the parent from holding every shard's rows a
+        # second time for the pool's whole serving lifetime.
+        self.specs = []
+        return list(self.handles)
+
+    def handle_for(self, shard_id: int, replica_index: int = 0) -> WorkerHandle:
+        for handle in self.handles:
+            if handle.shard_id == shard_id and handle.replica_index == replica_index:
+                return handle
+        raise WorkerError(
+            f"no worker for shard{shard_id}/replica{replica_index} in this pool"
+        )
+
+    def kill(self, shard_id: int, replica_index: int = 0) -> WorkerHandle:
+        """SIGKILL one worker (the chaos seam used by ``kill_worker``)."""
+        handle = self.handle_for(shard_id, replica_index)
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(timeout=5.0)
+        return handle
+
+    def close(self) -> None:
+        """SIGTERM every worker (drain) and join them all."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self.handles:
+            if handle.process.is_alive():
+                handle.process.terminate()
+        for handle in self.handles:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.handles)
+
+    def checksums(self) -> dict[str, str]:
+        """Per-worker index checksums keyed ``"shard{S}/replica{R}"``."""
+        return {
+            f"shard{handle.shard_id}/replica{handle.replica_index}": handle.checksum
+            for handle in self.handles
+        }
+
+    def describe(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "shard_id": handle.shard_id,
+                "replica_index": handle.replica_index,
+                "pid": handle.pid,
+                "port": handle.port,
+                "alive": handle.alive,
+            }
+            for handle in self.handles
+        ]
+
+    def __repr__(self) -> str:
+        return f"WorkerPool(workers={len(self.handles) or len(self.specs)})"

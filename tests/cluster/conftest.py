@@ -6,20 +6,29 @@ evaluation datasets.  The stacks here are shrunk versions of the example
 applications: small canvases, few thousand rows, one dynamic layer per
 canvas — large enough that shard regions hold distinct data, small enough
 to build in well under a second.
+
+The request-building helpers (:func:`tile_requests` / :func:`box_requests`
+/ :func:`parity_requests`) and :func:`payload_bytes` are shared by every
+parity suite in this package — import them from here instead of redefining
+them per test module.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 import pytest
 
-from repro.bench.apps import default_config
+from repro.bench.apps import build_eeg_backend, default_config
 from repro.compiler import compile_application
 from repro.core import App, Canvas, ColumnPlacement, Jump, Layer, Transform, dot_renderer
-from repro.datagen.eeg import EEGSpec, load_eeg
+from repro.datagen.eeg import EEGSpec
 from repro.datagen.usmap import USMapSpec, load_usmap
+from repro.net.protocol import DataRequest
 from repro.server.backend import KyrixBackend
+from repro.server.schemes import DESIGN_MAPPING, DESIGN_SPATIAL
+from repro.server.tile import TileScheme
 from repro.storage.database import Database
 
 
@@ -33,6 +42,63 @@ class ParityStack:
     canvases: list[tuple[str, int, int]]
     #: (canvas_id, layer_index, rect-tuple) dynamic-box requests to issue.
     boxes: list[tuple[str, int, tuple[float, float, float, float]]]
+
+    @property
+    def tile_sizes(self) -> tuple[int, ...]:
+        """The distinct tile sizes of the stack (mapping tables to prebuild)."""
+        return tuple(sorted({tile_size for _, _, tile_size in self.canvases}))
+
+
+def payload_bytes(response) -> bytes:
+    """The byte-parity identity of a response's object payload."""
+    return json.dumps(response.objects, sort_keys=True).encode("utf-8")
+
+
+def tile_requests(stack: ParityStack) -> list[DataRequest]:
+    """Every tile of every canvas, in both database designs."""
+    requests = []
+    for canvas_id, layer_index, tile_size in stack.canvases:
+        plan = stack.backend.compiled.canvas_plan(canvas_id)
+        scheme = TileScheme(plan.width, plan.height, tile_size)
+        for design in (DESIGN_SPATIAL, DESIGN_MAPPING):
+            for tile_id in range(scheme.tile_count):
+                requests.append(
+                    DataRequest(
+                        app_name=stack.app_name,
+                        canvas_id=canvas_id,
+                        layer_index=layer_index,
+                        granularity="tile",
+                        design=design,
+                        tile_id=tile_id,
+                        tile_size=tile_size,
+                    )
+                )
+    return requests
+
+
+def box_requests(stack: ParityStack) -> list[DataRequest]:
+    """The stack's dynamic-box request shapes."""
+    requests = []
+    for canvas_id, layer_index, (xmin, ymin, xmax, ymax) in stack.boxes:
+        requests.append(
+            DataRequest(
+                app_name=stack.app_name,
+                canvas_id=canvas_id,
+                layer_index=layer_index,
+                granularity="box",
+                design=DESIGN_SPATIAL,
+                xmin=xmin,
+                ymin=ymin,
+                xmax=xmax,
+                ymax=ymax,
+            )
+        )
+    return requests
+
+
+def parity_requests(stack: ParityStack) -> list[DataRequest]:
+    """The full parity workload: every tile request plus every box request."""
+    return tile_requests(stack) + box_requests(stack)
 
 
 def build_usmap_parity_stack() -> ParityStack:
@@ -108,49 +174,24 @@ def build_usmap_parity_stack() -> ParityStack:
 
 
 def build_eeg_parity_stack() -> ParityStack:
-    """One temporal EEG canvas with per-sample placement precompute."""
+    """One temporal EEG canvas with per-sample placement precompute.
+
+    Reuses the benchmark suite's EEG application builder
+    (:func:`repro.bench.apps.build_eeg_backend`) so the tests and the
+    cluster-scaling benchmark exercise the same app.
+    """
     spec = EEGSpec(channels=2, sample_rate_hz=16.0, duration_s=120.0, epoch_s=30.0)
-    config = default_config(viewport=400)
-    database = Database(config.storage)
-    load_eeg(database, spec)
-
-    lane_height = spec.amplitude_uv * 4.0  # must match datagen.eeg lane layout
-    canvas_width = spec.duration_s * 1000.0
-    canvas_height = spec.channels * lane_height
-
-    def place_sample(row):
-        row["px"] = row["t_ms"]
-        row["py"] = row["channel"] * lane_height + lane_height / 2.0 + row["value"]
-        return row
-
-    app = App("eeg", config=config)
-    canvas = Canvas("temporal", width=canvas_width, height=canvas_height)
-    app.add_canvas(canvas)
-    canvas.add_transform(
-        Transform(
-            transform_id="samplesTrans",
-            query="SELECT sample_id, channel, t_ms, value FROM eeg_samples",
-            transform_func=place_sample,
-            columns=("sample_id", "channel", "t_ms", "value", "px", "py"),
-        )
+    stack = build_eeg_backend(
+        spec, config=default_config(viewport=400), tile_sizes=(32768,)
     )
-    layer = Layer("samplesTrans", False)
-    canvas.add_layer(layer)
-    layer.add_placement(ColumnPlacement(x_column="px", y_column="py"))
-    layer.add_rendering_func(dot_renderer("px", "py"))
-
-    app.set_initial_canvas("temporal", 0, 0)
-    compiled = compile_application(app)
-    backend = KyrixBackend(database, compiled, config)
-    backend.precompute(tile_sizes=(32768,))
     return ParityStack(
-        backend=backend,
+        backend=stack.backend,
         app_name="eeg",
         canvases=[("temporal", 0, 32768)],
         boxes=[
-            ("temporal", 0, (0.0, 0.0, canvas_width, canvas_height)),
+            ("temporal", 0, (0.0, 0.0, stack.canvas_width, stack.canvas_height)),
             ("temporal", 0, (10_000.0, 50.0, 45_000.0, 350.0)),
-            ("temporal", 0, (59_000.0, 0.0, 61_000.0, canvas_height)),
+            ("temporal", 0, (59_000.0, 0.0, 61_000.0, stack.canvas_height)),
         ],
     )
 

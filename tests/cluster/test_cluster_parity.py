@@ -15,52 +15,12 @@ from repro.bench.apps import build_dots_backend, default_config
 from repro.cluster import build_cluster
 from repro.datagen.synthetic import tiny_spec
 from repro.net.protocol import DataRequest, DataResponse
-from repro.server.schemes import DESIGN_MAPPING, DESIGN_SPATIAL
-from repro.server.tile import TileScheme
+
+from tests.cluster.conftest import parity_requests
 
 
 def _sorted_objects(response):
     return sorted(response.objects, key=lambda obj: obj["tuple_id"])
-
-
-def _tile_requests(stack):
-    requests = []
-    for canvas_id, layer_index, tile_size in stack.canvases:
-        plan = stack.backend.compiled.canvas_plan(canvas_id)
-        scheme = TileScheme(plan.width, plan.height, tile_size)
-        for design in (DESIGN_SPATIAL, DESIGN_MAPPING):
-            for tile_id in range(scheme.tile_count):
-                requests.append(
-                    DataRequest(
-                        app_name=stack.app_name,
-                        canvas_id=canvas_id,
-                        layer_index=layer_index,
-                        granularity="tile",
-                        design=design,
-                        tile_id=tile_id,
-                        tile_size=tile_size,
-                    )
-                )
-    return requests
-
-
-def _box_requests(stack):
-    requests = []
-    for canvas_id, layer_index, (xmin, ymin, xmax, ymax) in stack.boxes:
-        requests.append(
-            DataRequest(
-                app_name=stack.app_name,
-                canvas_id=canvas_id,
-                layer_index=layer_index,
-                granularity="box",
-                design=DESIGN_SPATIAL,
-                xmin=xmin,
-                ymin=ymin,
-                xmax=xmax,
-                ymax=ymax,
-            )
-        )
-    return requests
 
 
 @pytest.mark.parametrize("stack_fixture", ["usmap_parity_stack", "eeg_parity_stack"])
@@ -68,17 +28,16 @@ def _box_requests(stack):
 @pytest.mark.parametrize("strategy", ["grid", "kd"])
 def test_cluster_matches_single_backend(request, stack_fixture, shard_count, strategy):
     stack = request.getfixturevalue(stack_fixture)
-    tile_sizes = tuple(sorted({tile_size for _, _, tile_size in stack.canvases}))
     cluster = build_cluster(
         stack.backend,
         shard_count=shard_count,
         strategy=strategy,
-        tile_sizes=tile_sizes,
+        tile_sizes=stack.tile_sizes,
     )
     assert cluster.shard_count == shard_count
 
     fetched_anything = False
-    for data_request in _tile_requests(stack) + _box_requests(stack):
+    for data_request in parity_requests(stack):
         single = stack.backend.handle(data_request)
         routed = cluster.router.handle(data_request)
         assert _sorted_objects(routed) == _sorted_objects(single), (

@@ -10,54 +10,15 @@ the comparison also covers JSON encode/decode on the shard boundary.
 
 from __future__ import annotations
 
-import json
 import threading
 
 import pytest
 
 from repro.cluster import build_cluster
 from repro.net.protocol import DataRequest
-from repro.server.schemes import DESIGN_MAPPING, DESIGN_SPATIAL
-from repro.server.tile import TileScheme
 
-
-def _payload_bytes(response) -> bytes:
-    return json.dumps(response.objects, sort_keys=True).encode("utf-8")
-
-
-def _all_requests(stack):
-    requests = []
-    for canvas_id, layer_index, tile_size in stack.canvases:
-        plan = stack.backend.compiled.canvas_plan(canvas_id)
-        scheme = TileScheme(plan.width, plan.height, tile_size)
-        for design in (DESIGN_SPATIAL, DESIGN_MAPPING):
-            for tile_id in range(scheme.tile_count):
-                requests.append(
-                    DataRequest(
-                        app_name=stack.app_name,
-                        canvas_id=canvas_id,
-                        layer_index=layer_index,
-                        granularity="tile",
-                        design=design,
-                        tile_id=tile_id,
-                        tile_size=tile_size,
-                    )
-                )
-    for canvas_id, layer_index, (xmin, ymin, xmax, ymax) in stack.boxes:
-        requests.append(
-            DataRequest(
-                app_name=stack.app_name,
-                canvas_id=canvas_id,
-                layer_index=layer_index,
-                granularity="box",
-                design=DESIGN_SPATIAL,
-                xmin=xmin,
-                ymin=ymin,
-                xmax=xmax,
-                ymax=ymax,
-            )
-        )
-    return requests
+from tests.cluster.conftest import parity_requests as _all_requests
+from tests.cluster.conftest import payload_bytes as _payload_bytes
 
 
 @pytest.mark.parametrize("stack_fixture", ["usmap_parity_stack", "eeg_parity_stack"])
@@ -66,7 +27,7 @@ def test_parallel_router_is_byte_identical_to_sequential(
     request, stack_fixture, shard_count
 ):
     stack = request.getfixturevalue(stack_fixture)
-    tile_sizes = tuple(sorted({tile_size for _, _, tile_size in stack.canvases}))
+    tile_sizes = stack.tile_sizes
     parallel = build_cluster(
         stack.backend, shard_count=shard_count, tile_sizes=tile_sizes
     )

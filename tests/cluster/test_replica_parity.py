@@ -9,61 +9,20 @@ router's stats must attribute every failure to the broken replicas.
 
 from __future__ import annotations
 
-import json
-
 import pytest
 
 from repro.cluster import build_cluster
-from repro.net.protocol import DataRequest
-from repro.server.schemes import DESIGN_MAPPING, DESIGN_SPATIAL
-from repro.server.tile import TileScheme
 from repro.serving import FaultSchedule, fault_replica
 
-
-def _payload_bytes(response) -> bytes:
-    return json.dumps(response.objects, sort_keys=True).encode("utf-8")
-
-
-def _all_requests(stack):
-    requests = []
-    for canvas_id, layer_index, tile_size in stack.canvases:
-        plan = stack.backend.compiled.canvas_plan(canvas_id)
-        scheme = TileScheme(plan.width, plan.height, tile_size)
-        for design in (DESIGN_SPATIAL, DESIGN_MAPPING):
-            for tile_id in range(scheme.tile_count):
-                requests.append(
-                    DataRequest(
-                        app_name=stack.app_name,
-                        canvas_id=canvas_id,
-                        layer_index=layer_index,
-                        granularity="tile",
-                        design=design,
-                        tile_id=tile_id,
-                        tile_size=tile_size,
-                    )
-                )
-    for canvas_id, layer_index, (xmin, ymin, xmax, ymax) in stack.boxes:
-        requests.append(
-            DataRequest(
-                app_name=stack.app_name,
-                canvas_id=canvas_id,
-                layer_index=layer_index,
-                granularity="box",
-                design=DESIGN_SPATIAL,
-                xmin=xmin,
-                ymin=ymin,
-                xmax=xmax,
-                ymax=ymax,
-            )
-        )
-    return requests
+from tests.cluster.conftest import parity_requests as _all_requests
+from tests.cluster.conftest import payload_bytes as _payload_bytes
 
 
 @pytest.mark.parametrize("stack_fixture", ["usmap_parity_stack", "eeg_parity_stack"])
 @pytest.mark.parametrize("policy", ["round_robin", "least_inflight", "per_key_affinity"])
 def test_failover_is_byte_identical_to_single_replica(request, stack_fixture, policy):
     stack = request.getfixturevalue(stack_fixture)
-    tile_sizes = tuple(sorted({tile_size for _, _, tile_size in stack.canvases}))
+    tile_sizes = stack.tile_sizes
     baseline = build_cluster(
         stack.backend, shard_count=2, replicas=1, tile_sizes=tile_sizes
     )
@@ -113,7 +72,7 @@ def test_failover_is_byte_identical_to_single_replica(request, stack_fixture, po
 def test_replicated_cluster_without_faults_matches_baseline(usmap_parity_stack):
     """Replication alone must not change payloads (healthy-path parity)."""
     stack = usmap_parity_stack
-    tile_sizes = tuple(sorted({tile_size for _, _, tile_size in stack.canvases}))
+    tile_sizes = stack.tile_sizes
     baseline = build_cluster(
         stack.backend, shard_count=2, replicas=1, tile_sizes=tile_sizes
     )

@@ -1,0 +1,139 @@
+"""Cross-topology parity: threads, wire-stub and worker processes agree.
+
+The acceptance bar of the process-worker rework: for every deployment
+topology the cluster supports —
+
+* ``threads`` — in-process shard stacks called directly (``wire_shards``
+  off),
+* ``wire`` — in-process shard stacks behind the ``LocalTransport`` /
+  ``RemoteBackendStub`` JSON wire (the default),
+* ``processes`` — one forked worker process per shard replica behind a
+  ``SocketTransport`` speaking length-prefixed frames on localhost TCP —
+
+the same request stream must produce **byte-identical** ``DataResponse``
+payloads and exactly the same ``ClusterStats`` attribution (scatter counts,
+per-shard requests, fan-out histogram, per-replica attempts) on both
+evaluation applications (usmap + EEG), at 2 and 4 shards, with 1 and 2
+replicas per shard.  The router cannot tell the topologies apart, and the
+stats prove none of them drops, duplicates or re-routes a single request.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import build_cluster
+
+from tests.cluster.conftest import parity_requests, payload_bytes
+
+#: topology name -> build_cluster keyword overrides.
+TOPOLOGIES = {
+    "threads": {"worker_mode": "threads", "wire_shards": False},
+    "wire": {"worker_mode": "threads", "wire_shards": True},
+    "processes": {"worker_mode": "processes"},
+}
+
+
+def _attribution(stats) -> dict:
+    """The traffic-attribution identity of one router's ClusterStats."""
+    return {
+        "requests": stats.requests,
+        "cache_hits": stats.cache_hits,
+        "scatter_gathers": stats.scatter_gathers,
+        "shard_queries": stats.shard_queries,
+        "duplicates_removed": stats.duplicates_removed,
+        "objects_returned": stats.objects_returned,
+        "per_shard_requests": dict(stats.per_shard_requests),
+        "fanout": dict(stats.fanout),
+        "per_replica_requests": dict(stats.per_replica_requests),
+        "per_replica_failures": dict(stats.per_replica_failures),
+    }
+
+
+@pytest.mark.parametrize("stack_fixture", ["usmap_parity_stack", "eeg_parity_stack"])
+@pytest.mark.parametrize("shard_count", [2, 4])
+@pytest.mark.parametrize("replicas", [1, 2])
+def test_topologies_are_byte_identical_and_attribute_identically(
+    request, stack_fixture, shard_count, replicas
+):
+    stack = request.getfixturevalue(stack_fixture)
+    requests = parity_requests(stack)
+    payloads: dict[str, list[bytes]] = {}
+    attributions: dict[str, dict] = {}
+    checksums: dict[str, dict[str, str]] = {}
+
+    for topology, overrides in TOPOLOGIES.items():
+        cluster = build_cluster(
+            stack.backend,
+            shard_count=shard_count,
+            replicas=replicas,
+            tile_sizes=stack.tile_sizes,
+            **overrides,
+        )
+        try:
+            payloads[topology] = [
+                payload_bytes(cluster.router.handle(r)) for r in requests
+            ]
+            attributions[topology] = _attribution(cluster.router.stats)
+            checksums[topology] = dict(cluster.router.stats.replica_checksums)
+            assert cluster.router.stats.divergent_replicas() == {}
+        finally:
+            cluster.close()
+
+    # Byte-identity across topologies: every deployment shape returns the
+    # exact same payload bytes for the same request stream.
+    for topology in TOPOLOGIES:
+        assert payloads[topology] == payloads["threads"], (
+            f"{topology} payloads diverged from the threads topology "
+            f"at {shard_count} shards x {replicas} replicas"
+        )
+        assert attributions[topology] == attributions["threads"], (
+            f"{topology} attribution diverged at "
+            f"{shard_count} shards x {replicas} replicas"
+        )
+
+    # Identical shard content must hash identically in every topology that
+    # records checksums: worker processes always hash their own rebuilt
+    # index copies; in-process topologies only bother for replica *sets*
+    # (a single shared copy per shard has nothing to diverge from).
+    full_key_set = {
+        f"shard{shard}/replica{replica}"
+        for shard in range(shard_count)
+        for replica in range(replicas)
+    }
+    assert set(checksums["processes"]) == full_key_set
+    if replicas > 1:
+        assert checksums["wire"] == checksums["threads"]
+        assert checksums["processes"] == checksums["threads"]
+    else:
+        assert checksums["threads"] == {} and checksums["wire"] == {}
+
+    # Against the unsharded backend, the gathered tuple *sets* must match
+    # exactly (gather order is shard-id order, so bytes are compared across
+    # topologies above, not against the single backend's natural order).
+    for data_request, cluster_payload in zip(requests, payloads["threads"]):
+        single = stack.backend.handle(data_request)
+        gathered = json.loads(cluster_payload.decode("utf-8"))
+        assert sorted(o["tuple_id"] for o in gathered) == sorted(
+            o["tuple_id"] for o in single.objects
+        ), f"cluster tuple set diverged from single backend for {data_request}"
+
+    # The matrix only proves anything if shards actually held the traffic.
+    reference = attributions["threads"]
+    assert reference["scatter_gathers"] > 0
+    assert sum(reference["per_shard_requests"].values()) == reference["shard_queries"]
+    if replicas > 1:
+        assert sum(reference["per_replica_requests"].values()) == (
+            reference["shard_queries"]
+        )
+
+
+def test_process_topology_rejects_bad_worker_config(usmap_parity_stack):
+    from repro.errors import KyrixError
+
+    with pytest.raises(KyrixError):
+        build_cluster(
+            usmap_parity_stack.backend, shard_count=2, worker_mode="fibers"
+        )

@@ -75,8 +75,7 @@ def _box(i: int = 0) -> DataRequest:
     )
 
 
-def _payload_bytes(response) -> bytes:
-    return json.dumps(response.objects, sort_keys=True).encode("utf-8")
+from tests.cluster.conftest import payload_bytes as _payload_bytes  # noqa: E402
 
 
 class TestFaultSchedule:

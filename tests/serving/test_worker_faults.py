@@ -1,0 +1,136 @@
+"""Chaos tests for process-based shard workers: kill them for real.
+
+Unlike every other failure suite, nothing here is simulated: the worker is
+an actual forked OS process and ``kill_worker`` (the
+:mod:`repro.serving.faults` seam — no monkeypatching) sends it a real
+SIGKILL.  The failure the stack must mask is a dead TCP endpoint —
+connection refused / reset — surfacing as
+:class:`~repro.errors.WorkerConnectionError`, which the replica layer
+treats as fatal: the breaker opens on the first failed attempt and the
+request fails over to a healthy replica with a byte-identical payload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import WorkerConnectionError, WorkerSpawnError
+from repro.net.protocol import DataRequest
+from repro.serving import ReplicaService, WorkerPool, kill_worker, unwrap
+from repro.serving.worker import build_shard_spec
+
+from tests.cluster.conftest import payload_bytes
+
+
+def _box(stack, nudge: float = 0.0) -> DataRequest:
+    """A full-canvas box (touches every shard); ``nudge`` defeats caches."""
+    return DataRequest(
+        app_name=stack.compiled.app_name,
+        canvas_id="dots",
+        layer_index=0,
+        granularity="box",
+        xmin=0.0,
+        ymin=0.0,
+        xmax=2000.0 + nudge,
+        ymax=2000.0,
+    )
+
+
+@pytest.fixture()
+def worker_cluster(dots_stack):
+    cluster = build_cluster(
+        dots_stack.backend, shard_count=2, replicas=2, worker_mode="processes"
+    )
+    yield cluster
+    cluster.close()
+
+
+def test_killed_worker_fails_over_byte_identically(dots_stack, worker_cluster):
+    # A fault-free single-replica thread cluster is the payload oracle (the
+    # topology parity suite proves healthy topologies agree byte-for-byte).
+    baseline = build_cluster(dots_stack.backend, shard_count=2, replicas=1)
+    try:
+        requests = [_box(dots_stack, i) for i in range(4)]
+        expected = [payload_bytes(baseline.router.handle(r)) for r in requests]
+        assert any(payload != b"[]" for payload in expected)
+
+        handle = kill_worker(worker_cluster, shard_id=0, replica_index=0)
+        assert not handle.alive
+
+        degraded = [
+            payload_bytes(worker_cluster.router.handle(r)) for r in requests
+        ]
+        assert degraded == expected, "failover changed the served payload"
+    finally:
+        baseline.close()
+
+
+def test_worker_death_is_fatal_and_opens_the_breaker(dots_stack, worker_cluster):
+    kill_worker(worker_cluster, shard_id=0, replica_index=0)
+    # Drive traffic at shard 0 until the dead replica has been attempted.
+    for i in range(4):
+        worker_cluster.router.handle(_box(dots_stack, i + 1))
+    replica_set = worker_cluster.router.replica_sets()[0]
+    stats = worker_cluster.router.stats
+
+    failures = stats.per_replica_failures.get("shard0/replica0", 0)
+    # Fatal failure: the very first WorkerConnectionError opens the breaker
+    # (breaker_threshold is 3, but a dead process earns no doomed retries),
+    # and the open breaker shields the replica from further attempts.
+    assert failures == 1, "expected exactly one fatal attempt at the dead worker"
+    assert replica_set.breaker_open(0)
+    # Every failure is attributed to the killed replica and nothing else.
+    assert set(stats.per_replica_failures) == {"shard0/replica0"}
+    assert replica_set.stats.failures_for(1) == 0
+
+
+def test_single_replica_worker_death_surfaces_typed_error(dots_stack):
+    cluster = build_cluster(
+        dots_stack.backend, shard_count=2, replicas=1, worker_mode="processes"
+    )
+    try:
+        assert cluster.router.handle(_box(dots_stack)).objects
+        kill_worker(cluster, shard_id=0)
+        with pytest.raises(WorkerConnectionError):
+            cluster.router.handle(_box(dots_stack, 1.0))
+    finally:
+        cluster.close()
+
+
+def test_close_drains_after_a_kill(dots_stack, worker_cluster):
+    worker_cluster.router.handle(_box(dots_stack))
+    kill_worker(worker_cluster, shard_id=1, replica_index=1)
+    worker_cluster.close()
+    assert all(not handle.alive for handle in worker_cluster.worker_pool.handles)
+    # Idempotent: a second close (the fixture's) must be a no-op.
+    worker_cluster.close()
+
+
+def test_unwrap_reaches_replica_sets_in_process_topology(worker_cluster):
+    replica_layer = unwrap(worker_cluster.router, ReplicaService)
+    assert isinstance(replica_layer, ReplicaService)
+    assert replica_layer.replica_count == 2
+
+
+def test_worker_spawn_failure_is_typed_and_cleans_up(dots_stack):
+    shard = build_shard_spec(
+        dots_stack.database,
+        dots_stack.compiled,
+        dots_stack.backend.config,
+        shard_id=0,
+    )
+    # Two workers racing for the same fixed port: the second cannot bind,
+    # reports the failure, and start() fails with a typed error after
+    # tearing the first worker down again.
+    import socket
+
+    blocker = socket.create_server(("127.0.0.1", 0))
+    port = blocker.getsockname()[1]
+    try:
+        pool = WorkerPool([shard], port_base=port, spawn_timeout_s=5.0)
+        with pytest.raises(WorkerSpawnError):
+            pool.start()
+        assert pool.handles == []
+    finally:
+        blocker.close()
