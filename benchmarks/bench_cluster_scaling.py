@@ -41,6 +41,7 @@ or through pytest (one scaling assertion per dataset)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -130,6 +131,13 @@ def main(argv: list[str] | None = None) -> list[ClusterScalingResult]:
         action="store_true",
         help="CI smoke: tiny scale, 1/2 shards, 4 sessions, uniform only",
     )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the result rows as a JSON artifact",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -154,6 +162,19 @@ def main(argv: list[str] | None = None) -> list[ClusterScalingResult]:
     )
     _print_table(results)
     _print_shard_balance(results)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(
+                {
+                    "benchmark": "bench_cluster_scaling",
+                    "rows": [result.row() for result in results],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        print(f"\nwrote {args.json}")
     return results
 
 

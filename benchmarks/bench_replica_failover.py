@@ -27,6 +27,7 @@ or through pytest (failover must fully mask the dead replicas)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from dataclasses import dataclass
@@ -63,6 +64,9 @@ class FailoverResult:
     replica0_failures: int
     p50_ms: float
     p95_ms: float
+    #: Mean measured wall-clock per answered request (the regression-gate
+    #: metric shared with the other cluster benchmarks).
+    wall_ms_per_step: float = 0.0
 
     @property
     def success_rate(self) -> float:
@@ -77,6 +81,21 @@ class FailoverResult:
             "success_rate": f"{self.success_rate:.2f}",
             "p50_ms": f"{self.p50_ms:.3f}",
             "p95_ms": f"{self.p95_ms:.3f}",
+            "failovers": self.failovers,
+            "replica0_failures": self.replica0_failures,
+        }
+
+    def json_row(self) -> dict[str, object]:
+        """Numeric row for the JSON artifact (regression-gate friendly)."""
+        return {
+            "shards": self.shard_count,
+            "replicas": self.replicas,
+            "policy": self.policy,
+            "steps": self.steps,
+            "success_rate": round(self.success_rate, 4),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "wall_ms_per_step": round(self.wall_ms_per_step, 3),
             "failovers": self.failovers,
             "replica0_failures": self.replica0_failures,
         }
@@ -149,6 +168,9 @@ def run_cell(
             replica0_failures=replica0_failures,
             p50_ms=stats.median if stats else 0.0,
             p95_ms=stats.p95 if stats else 0.0,
+            wall_ms_per_step=(
+                sum(latencies_ms) / len(latencies_ms) if latencies_ms else 0.0
+            ),
         )
     finally:
         cluster.close()
@@ -188,6 +210,13 @@ def main(argv: list[str] | None = None) -> list[FailoverResult]:
     parser.add_argument(
         "--points", type=int, default=4_000, help="synthetic dataset size"
     )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the result rows as a JSON artifact",
+    )
     args = parser.parse_args(argv)
 
     stack = build_dots_backend(
@@ -200,6 +229,19 @@ def main(argv: list[str] | None = None) -> list[FailoverResult]:
         for replicas in args.replicas
     ]
     _print_table(results)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(
+                {
+                    "benchmark": "bench_replica_failover",
+                    "rows": [result.json_row() for result in results],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        print(f"\nwrote {args.json}")
     return results
 
 

@@ -1,0 +1,167 @@
+"""CI regression gate over benchmark JSON artifacts.
+
+Compares a freshly produced benchmark artifact (``--json`` output of
+``bench_cluster_scaling.py`` / ``bench_replica_failover.py`` /
+``bench_rebalance.py``) against a checked-in baseline of the same shape
+and **fails (exit 1) when the metric regresses by more than the allowed
+fraction** — by default ``wall_ms_per_step`` growing more than 50% over
+the baseline value.
+
+Rows are matched by their identity columns (``--keys``; default: every
+non-metric column the two files share, so the gate works for all three
+benchmarks unmodified).  Rows present only on one side are reported but
+do not fail the gate — a new benchmark cell must be able to land together
+with its baseline.
+
+The generous margin exists because baselines are recorded on one machine
+and checked on another: the gate is meant to catch *algorithmic*
+regressions (a serialised fan-out, an accidental O(n²) merge — those cost
+integer multiples), not scheduler noise.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --current /tmp/bench_rebalance.json \
+        --baseline benchmarks/baselines/bench_rebalance.json \
+        [--metric wall_ms_per_step] [--max-regression 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Columns never used for row identity (measurements — including
+#: deterministic-looking counters like cache hits that still vary run to
+#: run — rather than workload coordinates).
+METRIC_HINTS = (
+    "_ms",
+    "_s",
+    "_rate",
+    "skew",
+    "throughput",
+    "failover",
+    "failure",
+    "steps",
+    "wall",
+    "coalesced",
+    "hits",
+    "fanout",
+    "dups",
+    "objects",
+)
+
+
+def load_rows(path: Path) -> list[dict]:
+    document = json.loads(path.read_text())
+    rows = document.get("rows", document) if isinstance(document, dict) else document
+    if not isinstance(rows, list):
+        raise SystemExit(f"{path}: expected a row list or {{'rows': [...]}} document")
+    return rows
+
+
+def identity_columns(rows: list[dict], explicit: list[str] | None) -> list[str]:
+    if explicit:
+        return explicit
+    if not rows:
+        return []
+    return [
+        column
+        for column in rows[0]
+        if not any(hint in column for hint in METRIC_HINTS)
+    ]
+
+
+def row_key(row: dict, columns: list[str]) -> tuple:
+    return tuple((column, row.get(column)) for column in columns)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument(
+        "--metric",
+        default="wall_ms_per_step",
+        help="row column to gate on (lower is better)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.5,
+        help="allowed fractional growth over the baseline (0.5 = +50%%)",
+    )
+    parser.add_argument(
+        "--keys",
+        nargs="+",
+        default=None,
+        help="identity columns matching current rows to baseline rows "
+        "(default: every shared non-metric column)",
+    )
+    parser.add_argument(
+        "--allow-empty",
+        action="store_true",
+        help="exit 0 even when no rows could be compared (default: a gate "
+        "that gated nothing is itself a failure, so a renamed identity "
+        "column cannot silently disable it)",
+    )
+    args = parser.parse_args(argv)
+
+    current_rows = load_rows(args.current)
+    baseline_rows = load_rows(args.baseline)
+    columns = identity_columns(current_rows, args.keys)
+    baseline_by_key = {row_key(row, columns): row for row in baseline_rows}
+
+    failures: list[str] = []
+    compared = 0
+    for row in current_rows:
+        key = row_key(row, columns)
+        baseline = baseline_by_key.pop(key, None)
+        label = ", ".join(f"{name}={value}" for name, value in key) or "<all rows>"
+        if baseline is None:
+            print(f"NEW       {label}: no baseline row (not gated)")
+            continue
+        current_value = row.get(args.metric)
+        baseline_value = baseline.get(args.metric)
+        if current_value is None or baseline_value is None:
+            print(f"SKIP      {label}: metric {args.metric!r} missing")
+            continue
+        compared += 1
+        limit = baseline_value * (1.0 + args.max_regression)
+        status = "OK"
+        if current_value > limit:
+            status = "REGRESSED"
+            failures.append(
+                f"{label}: {args.metric} {current_value} > "
+                f"{limit:.3f} (baseline {baseline_value} "
+                f"+{args.max_regression:.0%})"
+            )
+        print(
+            f"{status:<9} {label}: {args.metric} {current_value} "
+            f"(baseline {baseline_value}, limit {limit:.3f})"
+        )
+    for key in baseline_by_key:
+        label = ", ".join(f"{name}={value}" for name, value in key)
+        print(f"GONE      {label}: baseline row has no current match")
+
+    if not compared and not failures:
+        print(
+            "error: no rows were compared — identity columns or the metric "
+            "do not line up between current and baseline (refresh the "
+            "baseline, or pass --allow-empty to waive the gate once)"
+        )
+        if not args.allow_empty:
+            return 1
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond the allowed margin:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\n{compared} row(s) within the allowed margin.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ from typing import Any, Sequence
 
 from ..cluster import build_cluster
 from ..config import CacheConfig, KyrixConfig, NetworkConfig, PrefetchConfig, StorageConfig
+from ..net.protocol import DataRequest
 from ..client.frontend import KyrixFrontend
 from ..client.session import ExplorationSession, SessionResult
 from ..core.viewport import Viewport
@@ -501,6 +502,46 @@ def eeg_workload(scale: str = "smoke") -> tuple[Any, str, list[Trace], KyrixConf
         viewport_h=viewport_h,
     )
     return stack, stack.canvas_id, traces, config
+
+
+def hotspot_box_requests(
+    app_name: str,
+    canvas_id: str,
+    layer_index: int,
+    region,
+    steps: int = 200,
+) -> list[DataRequest]:
+    """A skewed pan trace: box requests confined to one shard region.
+
+    The "everyone pans over Manhattan" traffic shape used by the
+    rebalance benchmark and the live-rebalance parity tests: every
+    request's rectangle stays strictly inside ``region`` (a
+    :class:`~repro.storage.rtree.Rect`, typically shard 0's region of a
+    static partitioning), so the whole trace lands on a single shard while
+    the rest of the cluster idles — maximal per-shard load skew by
+    construction.
+    """
+    margin_x, margin_y = region.width / 16.0, region.height / 16.0
+    box_w, box_h = region.width / 8.0, region.height / 8.0
+    span_x = region.width - 2 * margin_x - box_w
+    span_y = region.height - 2 * margin_y - box_h
+    requests: list[DataRequest] = []
+    for step in range(steps):
+        x = region.xmin + margin_x + (step * span_x / 7.3) % span_x
+        y = region.ymin + margin_y + (step * span_y / 11.9) % span_y
+        requests.append(
+            DataRequest(
+                app_name=app_name,
+                canvas_id=canvas_id,
+                layer_index=layer_index,
+                granularity="box",
+                xmin=x,
+                ymin=y,
+                xmax=x + box_w,
+                ymax=y + box_h,
+            )
+        )
+    return requests
 
 
 def cluster_scaling(

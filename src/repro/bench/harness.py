@@ -110,8 +110,11 @@ def _reset_serving_caches(stack: DotsStack) -> None:
                 layer.cache.stats.reset()
     if stack.cluster is not None:
         for shard in stack.cluster.shards:
-            shard.backend.cache.clear()
-            shard.backend.cache.stats.reset()
+            # Process-worker shards detach their parent-side backend (the
+            # worker owns the cache); nothing to clear in the parent then.
+            if shard.backend is not None:
+                shard.backend.cache.clear()
+                shard.backend.cache.stats.reset()
 
 
 def run_scheme_on_trace(

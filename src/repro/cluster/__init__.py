@@ -41,6 +41,17 @@ crosses the :mod:`repro.net.protocol` JSON encoding through a
 :class:`~repro.serving.transport.TransportService`, so shard conversations
 are exactly what a multi-node deployment would put on the network.
 
+**Adaptive repartitioning** (:mod:`~repro.cluster.rebalancer`).  The router
+records every request's canvas footprint into per-canvas
+:class:`~repro.cluster.partitioner.LoadHistogram` ring buffers; a
+:class:`~repro.cluster.rebalancer.LoadRebalancer` turns observed skew
+(``max/mean`` per-shard load vs ``cluster.rebalance_skew_threshold``) into
+a new :class:`~repro.cluster.partitioner.LoadWeightedKDPartitioner`
+partitioning and migrates to it **online** — the new shard set builds
+beside the serving one, the router's shard table swaps atomically, and the
+old generation drains before closing, with byte-identical responses
+throughout.
+
 The router implements the :class:`~repro.serving.base.DataService`
 protocol, so ``KyrixFrontend`` / ``ExplorationSession`` drive a cluster
 exactly like a single backend; build the whole stack with
@@ -56,11 +67,14 @@ from .coalescer import CoalescerStats, RequestCoalescer
 from .partitioner import (
     BalancedKDPartitioner,
     GridPartitioner,
+    LoadHistogram,
+    LoadWeightedKDPartitioner,
     Partitioning,
     ShardRegion,
     make_partitioner,
 )
-from .router import ClusterRouter, ClusterStats
+from .rebalancer import LoadRebalancer, RebalanceReport
+from .router import ClusterRouter, ClusterStats, ShardTable
 from .sharded import ShardedIndexer, ShardHandle
 
 __all__ = [
@@ -69,10 +83,15 @@ __all__ = [
     "ClusterStats",
     "CoalescerStats",
     "GridPartitioner",
+    "LoadHistogram",
+    "LoadRebalancer",
+    "LoadWeightedKDPartitioner",
     "Partitioning",
+    "RebalanceReport",
     "RequestCoalescer",
     "ShardHandle",
     "ShardRegion",
+    "ShardTable",
     "ShardedCluster",
     "ShardedIndexer",
     "build_cluster",

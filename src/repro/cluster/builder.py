@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
 
 from ..config import ClusterConfig, KyrixConfig
 from ..server.backend import KyrixBackend
@@ -21,6 +21,9 @@ from .partitioner import Partitioning
 from .router import ClusterRouter, replica_key
 from .sharded import ShardedIndexer, ShardHandle
 
+if TYPE_CHECKING:
+    from .rebalancer import LoadRebalancer
+
 
 @dataclass
 class ShardedCluster:
@@ -33,6 +36,17 @@ class ShardedCluster:
     #: built with ``worker_mode="processes"``; ``None`` for in-process
     #: (thread) topologies.
     worker_pool: WorkerPool | None = None
+    #: The source backend the shards were split from.  An online rebalance
+    #: re-shards it under a new partitioning, so the cluster keeps the
+    #: reference for its whole lifetime (the caller owns the backend; this
+    #: is not an extra copy of the data).
+    source: KyrixBackend | None = None
+    #: Tile sizes whose tuple–tile mapping tables were prebuilt per shard
+    #: (a rebalance prebuilds the same ones on the new shard set).
+    tile_sizes: tuple[int, ...] = ()
+    #: The attached load rebalancer, when ``cluster.rebalance_enabled``
+    #: (or the ``rebalance=`` build override) asked for one.
+    rebalancer: "LoadRebalancer | None" = field(default=None, repr=False)
 
     @property
     def shard_count(self) -> int:
@@ -107,11 +121,13 @@ def replica_service(
     )
 
 
-def _spawn_worker_topology(
+def spawn_worker_topology(
     shards: list[ShardHandle],
     cluster_config: ClusterConfig,
     config: KyrixConfig,
     compiled: Any,
+    *,
+    generation: int = 0,
 ) -> WorkerPool:
     """Fork one worker process per shard replica and attach their stacks.
 
@@ -123,6 +139,17 @@ def _spawn_worker_topology(
     over a :class:`~repro.net.socket_transport.SocketTransport` per replica
     — fronted by a :class:`~repro.serving.replica.ReplicaService` when the
     configuration asks for more than one replica.
+
+    Once the workers are up, the parent-side shard databases are
+    **detached** (:meth:`~repro.cluster.sharded.ShardHandle.detach_database`):
+    they only existed to seed the :class:`ShardSpec` dumps, and keeping
+    them would hold every shard's rows in the parent a second time for the
+    cluster's whole serving lifetime.
+
+    ``generation`` names the rebalance epoch the pool serves (0 for the
+    initial build); during an online rebalance the new generation spawns
+    while the old one still serves, and the generation keeps their process
+    names and fixed-port ranges apart.
     """
     specs: list[ShardSpec] = []
     for shard in shards:
@@ -137,6 +164,7 @@ def _spawn_worker_topology(
         specs,
         port_base=cluster_config.worker_port_base,
         spawn_timeout_s=cluster_config.worker_spawn_timeout_s,
+        generation=generation,
     )
     pool.start()
     for shard in shards:
@@ -158,7 +186,68 @@ def _spawn_worker_topology(
             )
         else:
             shard.service = stubs[0]
+        # Slim parent: the workers own the only live copies of the rows
+        # now; the parent keeps counts (rows_by_table), not databases.
+        shard.detach_database()
     return pool
+
+
+def attach_shard_services(
+    shards: list[ShardHandle],
+    cluster_config: ClusterConfig,
+    config: KyrixConfig,
+    compiled: Any,
+    *,
+    generation: int = 0,
+) -> WorkerPool | None:
+    """Attach the configured serving stack to every shard handle.
+
+    The one topology dispatch both :func:`build_cluster` and
+    :class:`~repro.cluster.rebalancer.LoadRebalancer` go through: process
+    mode forks a worker pool (returned), thread mode composes in-process
+    stacks (returns ``None``).
+    """
+    if cluster_config.worker_mode == "processes":
+        return spawn_worker_topology(
+            shards, cluster_config, config, compiled, generation=generation
+        )
+    for shard in shards:
+        if cluster_config.replicas > 1:
+            shard.service = replica_service(
+                shard, cluster_config, config, wire=cluster_config.wire_shards
+            )
+        else:
+            shard.service = shard_service(shard, wire=cluster_config.wire_shards)
+    return None
+
+
+def collect_replica_checksums(
+    shards: list[ShardHandle],
+    cluster_config: ClusterConfig,
+    pool: WorkerPool | None,
+) -> dict[str, str]:
+    """Per-replica index checksums of a freshly assembled shard set.
+
+    Workers report the hash of their own rebuilt copy; in-process *replica
+    sets* share the shard's index, so its hash is recorded once per
+    replica.  Either way the same content hashes to the same value, so
+    divergence detection is topology-blind.  Single-replica thread
+    clusters (the common fast path) skip the hash entirely — with one
+    in-process copy per shard there is nothing to diverge from, and
+    hashing every row would tax every build.
+    """
+    checksums: dict[str, str] = {}
+    if pool is not None:
+        for handle in pool.handles:
+            checksums[replica_key(handle.shard_id, handle.replica_index)] = (
+                handle.checksum
+            )
+    elif cluster_config.replicas > 1:
+        for shard in shards:
+            checksum = database_checksum(shard.database)
+            for replica_index in range(cluster_config.replicas):
+                checksums[replica_key(shard.shard_id, replica_index)] = checksum
+    return checksums
 
 
 def build_cluster(
@@ -172,6 +261,7 @@ def build_cluster(
     replicas: int | None = None,
     replica_policy: str | None = None,
     worker_mode: str | None = None,
+    rebalance: bool | None = None,
     tile_sizes: tuple[int, ...] = (),
 ) -> ShardedCluster:
     """Shard a precomputed backend into a scatter-gather serving cluster.
@@ -183,7 +273,10 @@ def build_cluster(
     mapping tables so the mapping design serves its first tile request
     without a lazy build.  With ``worker_mode="processes"`` every shard
     replica runs in its own forked worker process behind a socket transport
-    (see :mod:`repro.serving.worker`).
+    (see :mod:`repro.serving.worker`).  With ``rebalance=True`` (or
+    ``cluster.rebalance_enabled``) the cluster carries a ready-to-use
+    :class:`~repro.cluster.rebalancer.LoadRebalancer` as
+    ``cluster.rebalancer``.
     """
     config = source_backend.config
     cluster_config = config.cluster
@@ -197,6 +290,7 @@ def build_cluster(
             ("replicas", replicas),
             ("replica_policy", replica_policy),
             ("worker_mode", worker_mode),
+            ("rebalance_enabled", rebalance),
         )
         if value is not None
     }
@@ -210,19 +304,9 @@ def build_cluster(
         cluster_config=cluster_config,
     )
     shards, partitionings = indexer.build_shards(tile_sizes=tile_sizes)
-    pool: WorkerPool | None = None
-    if cluster_config.worker_mode == "processes":
-        pool = _spawn_worker_topology(
-            shards, cluster_config, config, source_backend.compiled
-        )
-    else:
-        for shard in shards:
-            if cluster_config.replicas > 1:
-                shard.service = replica_service(
-                    shard, cluster_config, config, wire=cluster_config.wire_shards
-                )
-            else:
-                shard.service = shard_service(shard, wire=cluster_config.wire_shards)
+    pool = attach_shard_services(
+        shards, cluster_config, config, source_backend.compiled
+    )
     router = ClusterRouter(
         shards,
         partitionings,
@@ -231,30 +315,28 @@ def build_cluster(
         cluster_config=cluster_config,
         coalescing=coalescing,
     )
-    # Per-replica index checksums: workers report the hash of their own
-    # rebuilt copy; in-process *replica sets* share the shard's index, so
-    # its hash is recorded once per replica.  Either way the same content
-    # hashes to the same value, so divergence detection is topology-blind.
-    # Single-replica thread clusters (the common fast path) skip the hash
-    # entirely — with one in-process copy per shard there is nothing to
-    # diverge from, and hashing every row would tax every build.
-    if pool is not None:
-        for handle in pool.handles:
-            router.stats.replica_checksums[
-                replica_key(handle.shard_id, handle.replica_index)
-            ] = handle.checksum
-    elif cluster_config.replicas > 1:
-        for shard in shards:
-            checksum = database_checksum(shard.database)
-            for replica_index in range(cluster_config.replicas):
-                router.stats.replica_checksums[
-                    replica_key(shard.shard_id, replica_index)
-                ] = checksum
+    router.stats.replica_checksums.update(
+        collect_replica_checksums(shards, cluster_config, pool)
+    )
+    # The generation-0 table owns the pool it serves from, so retiring it
+    # after a rebalance closes these workers (not the new generation's).
+    router._table.worker_pool = pool
     cluster = ShardedCluster(
-        router=router, shards=shards, partitionings=partitionings, worker_pool=pool
+        router=router,
+        shards=shards,
+        partitionings=partitionings,
+        worker_pool=pool,
+        source=source_backend,
+        tile_sizes=tuple(tile_sizes),
     )
     # The router carries its cluster handle so callers that only hold the
     # service stack (e.g. `serving.build_service` output) can reach shard
     # bookkeeping without rebuilding a second ShardedCluster.
     router.cluster = cluster
+    if cluster_config.rebalance_enabled:
+        # Local import: the rebalancer composes builder pieces, so a
+        # top-level import would be circular.
+        from .rebalancer import LoadRebalancer
+
+        cluster.rebalancer = LoadRebalancer(cluster)
     return cluster

@@ -12,15 +12,24 @@ Two strategies are provided, selected by ``ClusterConfig.strategy``:
   canvas's placement tables.  On skewed datasets this equalises per-shard
   load where the grid would leave most shards idle.
 
-Both produce a :class:`Partitioning`: an exact, gap-free cover of the canvas
-by axis-aligned :class:`ShardRegion` rectangles.  Region edges are shared, so
-an object whose bbox touches a boundary is *replicated* into every shard it
-overlaps; the router deduplicates at gather time (see
+A third partitioner exists outside the precompute-time registry:
+:class:`LoadWeightedKDPartitioner` splits at *weighted* medians of a
+:class:`LoadHistogram` — the observed request footprint recorded by the
+router at serving time — instead of the static object distribution.  It is
+what :class:`~repro.cluster.rebalancer.LoadRebalancer` uses to derive a new
+partitioning from live traffic skew; it is not a ``ClusterConfig.strategy``
+because the load signal only exists once the cluster has served requests.
+
+All three produce a :class:`Partitioning`: an exact, gap-free cover of the
+canvas by axis-aligned :class:`ShardRegion` rectangles.  Region edges are
+shared, so an object whose bbox touches a boundary is *replicated* into
+every shard it overlaps; the router deduplicates at gather time (see
 :mod:`repro.cluster.router`).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from statistics import median
 
@@ -31,6 +40,9 @@ from ..storage.statistics import SpatialDistribution
 #: Registry of strategy names (mirrors ``ClusterConfig.strategy``).
 STRATEGY_GRID = "grid"
 STRATEGY_KD = "kd"
+#: Strategy label of load-driven repartitionings (not a config strategy:
+#: it needs live traffic, which precompute-time builds do not have).
+STRATEGY_LOAD = "load_kd"
 
 
 @dataclass(frozen=True)
@@ -136,8 +148,10 @@ class GridPartitioner:
             if self.shard_count % columns:
                 continue
             rows = self.shard_count // columns
-            # Penalise elongation symmetrically: a 1:2 cell is as bad as 2:1.
-            cell_aspect = (width / columns) / (height / rows)
+            # Penalise elongation symmetrically: a 1:2 cell is as bad as
+            # 2:1.  A collapsed axis acts as unit length, so a degenerate
+            # canvas slices its live axis instead of dividing by zero.
+            cell_aspect = ((width / columns) or 1.0) / ((height / rows) or 1.0)
             score = max(cell_aspect, 1.0 / cell_aspect)
             # <= so ties (e.g. a square canvas split in two) prefer columns.
             if best is None or score <= best[0]:
@@ -211,6 +225,152 @@ class BalancedKDPartitioner:
         # A median equal to a region edge would create a degenerate slab;
         # nudge to the midpoint instead.
         if not (low < split < high):
+            split = (low + high) / 2.0
+        return split
+
+
+class LoadHistogram:
+    """A bounded sample of weighted request-footprint centres on one canvas.
+
+    The router records the centre of every scatter-gather's canvas
+    rectangle here (weight 1 per request by default); the rebalancer feeds
+    the histogram to :class:`LoadWeightedKDPartitioner` so shard boundaries
+    move toward where the *traffic* is, not where the data sits.  With a
+    positive ``limit`` the sample is a ring buffer — old observations fall
+    off, so the histogram tracks recent load rather than all of history.
+    """
+
+    def __init__(self, limit: int = 0) -> None:
+        self.limit = limit
+        self._points: deque[tuple[float, float, float]] = deque(
+            maxlen=limit if limit > 0 else None
+        )
+
+    def observe(self, x: float, y: float, weight: float = 1.0) -> None:
+        if weight <= 0:
+            return
+        self._points.append((float(x), float(y), float(weight)))
+
+    @property
+    def points(self) -> tuple[tuple[float, float, float], ...]:
+        """The ``(x, y, weight)`` samples, oldest first."""
+        return tuple(self._points)
+
+    def total_weight(self) -> float:
+        return sum(weight for _, _, weight in self._points)
+
+    def copy(self) -> "LoadHistogram":
+        clone = LoadHistogram(self.limit)
+        clone._points.extend(self._points)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class LoadWeightedKDPartitioner:
+    """KD splits at weighted medians of the observed request load.
+
+    Where :class:`BalancedKDPartitioner` balances the *data* (object
+    centres, equal counts per shard), this balances the *traffic*: the
+    region carrying the most observed request weight is split at the
+    weighted median of its samples, so a hotspot the size of one viewport
+    ends up divided across several shards while cold regions merge into
+    few large ones.  Any histogram — empty, degenerate, single-point —
+    yields an exact, gap-free, overlap-free cover: regions that cannot be
+    split data-sensibly fall back to midpoint splits.
+    """
+
+    strategy = STRATEGY_LOAD
+
+    def __init__(self, shard_count: int) -> None:
+        if shard_count < 1:
+            raise KyrixError(f"shard_count must be >= 1, got {shard_count}")
+        self.shard_count = shard_count
+
+    def partition(
+        self,
+        canvas_id: str,
+        width: float,
+        height: float,
+        load: LoadHistogram | None = None,
+    ) -> Partitioning:
+        # Clamp samples into the canvas: request rects may hang off the
+        # edge (a viewport centred near a border), and a sample outside
+        # every region would silently distort the weighted medians.
+        points: list[tuple[float, float, float]] = []
+        if load is not None:
+            points = [
+                (min(max(x, 0.0), width), min(max(y, 0.0), height), weight)
+                for x, y, weight in load.points
+                if weight > 0
+            ]
+
+        items: list[tuple[Rect, list[tuple[float, float, float]]]] = [
+            (Rect(0.0, 0.0, width, height), points)
+        ]
+        while len(items) < self.shard_count:
+            items.sort(
+                key=lambda item: sum(weight for _, _, weight in item[1]),
+                reverse=True,
+            )
+            rect, samples = items.pop(0)
+            axis = 0 if rect.width >= rect.height else 1
+            split = self._weighted_split(rect, samples, axis)
+            if split is None:
+                # Degenerate along the preferred axis; try the other one.
+                axis = 1 - axis
+                split = self._weighted_split(rect, samples, axis)
+            if split is None:
+                # A zero-area region (degenerate canvas, or a previous
+                # zero-width cut).  Split it into two identical zero-area
+                # slabs: the cover stays exact and the loop still makes
+                # progress toward shard_count regions.
+                axis = 0
+                split = rect.xmin
+            if axis == 0:
+                left = Rect(rect.xmin, rect.ymin, split, rect.ymax)
+                right = Rect(split, rect.ymin, rect.xmax, rect.ymax)
+            else:
+                left = Rect(rect.xmin, rect.ymin, rect.xmax, split)
+                right = Rect(rect.xmin, split, rect.xmax, rect.ymax)
+            items.append((left, [p for p in samples if p[axis] <= split]))
+            items.append((right, [p for p in samples if p[axis] > split]))
+
+        items.sort(key=lambda item: (item[0].ymin, item[0].xmin))
+        regions = [
+            ShardRegion(shard_id=index, rect=rect)
+            for index, (rect, _) in enumerate(items)
+        ]
+        return Partitioning(canvas_id=canvas_id, strategy=self.strategy, regions=regions)
+
+    def _weighted_split(
+        self,
+        rect: Rect,
+        samples: list[tuple[float, float, float]],
+        axis: int,
+    ) -> float | None:
+        """The weighted-median cut of ``rect`` along ``axis``.
+
+        Returns ``None`` when the region is degenerate along the axis (no
+        interior point exists); falls back to the midpoint when the samples
+        give no usable interior split.
+        """
+        low = rect.xmin if axis == 0 else rect.ymin
+        high = rect.xmax if axis == 0 else rect.ymax
+        if not low < high:
+            return None
+        total = sum(weight for _, _, weight in samples)
+        split: float | None = None
+        if total > 0:
+            ordered = sorted(samples, key=lambda p: p[axis])
+            cumulative = 0.0
+            for point in ordered:
+                cumulative += point[2]
+                if cumulative >= total / 2.0:
+                    split = float(point[axis])
+                    break
+        if split is None or not (low < split < high):
             split = (low + high) / 2.0
         return split
 

@@ -41,6 +41,7 @@ deprecated; use :func:`repro.serving.build_service`.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
@@ -55,7 +56,7 @@ from ..server.tile import TileScheme
 from ..serving.middleware import CachingService, CoalescingService
 from ..storage.rtree import Rect
 from .coalescer import RequestCoalescer
-from .partitioner import Partitioning
+from .partitioner import LoadHistogram, Partitioning
 from .sharded import ShardHandle
 
 
@@ -67,6 +68,35 @@ def replica_key(shard_id: int, replica_index: int) -> str:
     can parse them back.
     """
     return f"shard{shard_id}/replica{replica_index}"
+
+
+@dataclass
+class ShardTable:
+    """One immutable generation of the router's shard topology.
+
+    The scatter-gather core reads the table exactly once per request and
+    uses it for the whole fan-out, so an online rebalance can swap the
+    router's current table atomically while requests already in flight
+    keep the generation they started on.  ``inflight`` counts those
+    requests (guarded by the router's table lock); the old generation is
+    only closed once it drains.
+    """
+
+    shards: list[ShardHandle]
+    partitionings: dict[str, Partitioning]
+    epoch: int = 0
+    #: The worker-process pool serving this generation's shards, when it
+    #: was built with ``worker_mode="processes"``.
+    worker_pool: Any = None
+    #: Scatter-gathers currently executing against this table.
+    inflight: int = 0
+
+    def close(self) -> None:
+        """Close this generation's shard stacks and worker pool."""
+        for shard in self.shards:
+            shard.close()
+        if self.worker_pool is not None:
+            self.worker_pool.close()
 
 
 @dataclass
@@ -94,6 +124,9 @@ class ClusterStats:
     #: equal by construction; process workers hash their own rebuilt copy,
     #: making a corrupted or stale replica index detectable.
     replica_checksums: dict[str, str] = field(default_factory=dict)
+    #: How many online rebalances this router has performed (each swap of
+    #: the shard table increments the epoch by one).
+    rebalance_epochs: int = 0
 
     def record_replica_attempt(self, shard_id: int, replica_index: int, ok: bool) -> None:
         key = replica_key(shard_id, replica_index)
@@ -142,8 +175,9 @@ class ClusterStats:
         self.fanout.clear()
         self.per_replica_requests.clear()
         self.per_replica_failures.clear()
-        # replica_checksums describe the built topology, not traffic, so a
-        # stats reset deliberately leaves them in place.
+        # replica_checksums and rebalance_epochs describe the built
+        # topology (and its history), not traffic, so a stats reset
+        # deliberately leaves them in place.
 
 
 class _ScatterGatherService:
@@ -196,8 +230,11 @@ class ClusterRouter:
     ) -> None:
         if not shards:
             raise FetchError("a cluster needs at least one shard")
-        self.shards = shards
-        self.partitionings = partitionings
+        # The shard topology lives in a swappable ShardTable so an online
+        # rebalance can replace it atomically (see swap_shards).
+        self._table = ShardTable(shards=shards, partitionings=partitionings)
+        self._table_lock = threading.Lock()
+        self._table_drained = threading.Condition(self._table_lock)
         self.compiled = compiled
         self.config = config or (compiled.spec.config if compiled.spec else KyrixConfig())
         # The effective cluster config may carry per-build overrides; the
@@ -208,7 +245,15 @@ class ClusterRouter:
             coalescing = cluster_config.coalescing
         if parallel is None:
             parallel = cluster_config.parallel_shards
+        self._parallel_requested = parallel
         self.parallel = parallel and len(shards) > 1
+        # Per-canvas request-footprint histograms feeding the load-driven
+        # repartitioner (bounded ring buffers; see LoadRebalancer).
+        self._load_lock = threading.Lock()
+        self.canvas_loads: dict[str, LoadHistogram] = {
+            canvas_id: LoadHistogram(cluster_config.rebalance_load_samples)
+            for canvas_id in partitionings
+        }
         cache_entries = (
             cluster_config.router_cache_entries if self.config.cache.enabled else 0
         )
@@ -243,6 +288,21 @@ class ClusterRouter:
             layer = getattr(shard, "service", None)
             if isinstance(layer, ReplicaService):
                 layer.observer = self._replica_observer(shard.shard_id)
+
+    @property
+    def shards(self) -> list[ShardHandle]:
+        """The current generation's shard handles (see :class:`ShardTable`)."""
+        return self._table.shards
+
+    @property
+    def partitionings(self) -> dict[str, Partitioning]:
+        """The current generation's per-canvas partitionings."""
+        return self._table.partitionings
+
+    @property
+    def epoch(self) -> int:
+        """The current shard-table generation (0 until the first rebalance)."""
+        return self._table.epoch
 
     @property
     def shard_count(self) -> int:
@@ -305,13 +365,125 @@ class ClusterRouter:
             self._closed = True
         if executor is not None:
             executor.shutdown(wait=True)
-        for shard in self.shards:
-            shard.close()
+        # Serialise with swap_shards: reading the table under the table
+        # lock guarantees we close whichever generation a concurrent
+        # rebalance installed (or that the rebalance failed its closed
+        # check before installing anything).
+        with self._table_lock:
+            table = self._table
+        table.close()
         # Callers that only hold the service stack (build_service output)
-        # must still be able to drain a process-worker topology.
+        # must still be able to drain a process-worker topology.  After a
+        # rebalance the cluster handle's pool is the table's pool, whose
+        # close() is idempotent; this covers pre-rebalance builds where the
+        # pool was only recorded on the cluster.
         pool = getattr(self.cluster, "worker_pool", None)
-        if pool is not None:
+        if pool is not None and pool is not table.worker_pool:
             pool.close()
+
+    # -- online rebalancing seam -------------------------------------------------------
+
+    def swap_shards(
+        self,
+        shards: list[ShardHandle],
+        partitionings: dict[str, Partitioning],
+        *,
+        worker_pool: Any = None,
+        replica_checksums: dict[str, str] | None = None,
+    ) -> ShardTable:
+        """Atomically replace the shard table with a new generation.
+
+        Requests that already picked up the old table finish against it
+        (the caller retires it with :meth:`retire_table` once it drains);
+        every request arriving after this call scatters over the new
+        shards.  Returns the retired :class:`ShardTable`.
+
+        Traffic counters keyed by shard or replica id
+        (``per_shard_requests`` / ``fanout`` / ``per_replica_*``) are
+        cleared: shard ids name *regions*, and the new generation's
+        regions are different objects — mixing the two would make the
+        post-rebalance skew unreadable.  ``replica_checksums`` is replaced
+        with the new generation's hashes and ``rebalance_epochs``
+        increments.
+        """
+        if not shards:
+            raise FetchError("a rebalance needs at least one shard")
+        from ..serving.replica import ReplicaService
+
+        for shard in shards:
+            layer = getattr(shard, "service", None)
+            if isinstance(layer, ReplicaService):
+                layer.observer = self._replica_observer(shard.shard_id)
+        with self._table_lock:
+            # Refuse to install shards on a closed router: close() captures
+            # the current table under this same lock, so checking here
+            # guarantees either close() sees the new table (and closes it)
+            # or this swap fails before installing anything — a rebalance
+            # racing a shutdown must not strand a worker-pool generation.
+            with self._executor_lock:
+                if self._closed:
+                    raise FetchError("cannot swap shards on a closed router")
+                # The executor was sized for the old shard count; drop it
+                # so the next fan-out rebuilds one for the new topology.
+                executor, self._executor = self._executor, None
+            old = self._table
+            self._table = ShardTable(
+                shards=shards,
+                partitionings=partitionings,
+                epoch=old.epoch + 1,
+                worker_pool=worker_pool,
+            )
+            self.parallel = self._parallel_requested and len(shards) > 1
+            # Clear per-shard/per-replica traffic inside the table lock:
+            # no request can pick up the new table until the lock drops,
+            # so the new epoch's counters start exactly empty, and
+            # old-generation stragglers skip recording via the stale-table
+            # guard in _scatter_gather_on.
+            with self._stats_lock:
+                self.stats.rebalance_epochs += 1
+                self.stats.per_shard_requests.clear()
+                self.stats.fanout.clear()
+                self.stats.per_replica_requests.clear()
+                self.stats.per_replica_failures.clear()
+                self.stats.replica_checksums = dict(replica_checksums or {})
+        if executor is not None:
+            # Old-generation scatters may still hold futures; wait=False
+            # lets them finish on the dying executor while new requests
+            # get a fresh one (a submit that loses this race falls back to
+            # the sequential path — see _scatter_gather_on).
+            executor.shutdown(wait=False)
+        return old
+
+    def retire_table(self, table: ShardTable, *, timeout_s: float | None = None) -> bool:
+        """Wait for a swapped-out table's in-flight requests, then close it.
+
+        Returns ``True`` when the table drained within ``timeout_s``
+        (default ``cluster.rebalance_drain_timeout_s``); on timeout the
+        table is closed anyway — serving a request on a closing stack is
+        the lesser evil next to leaking worker processes.
+        """
+        if timeout_s is None:
+            timeout_s = self.cluster_config.rebalance_drain_timeout_s
+        deadline = time.monotonic() + timeout_s
+        with self._table_lock:
+            while table.inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                # wait() releases the lock while blocking, so decrements
+                # in _scatter_gather can proceed.
+                self._table_drained.wait(remaining)
+            drained = table.inflight == 0
+        table.close()
+        return drained
+
+    def load_snapshot(self) -> dict[str, LoadHistogram]:
+        """A copy of the per-canvas request-load histograms (for rebalancing)."""
+        with self._load_lock:
+            return {
+                canvas_id: load.copy()
+                for canvas_id, load in self.canvas_loads.items()
+            }
 
     # -- scatter-gather ----------------------------------------------------------------
 
@@ -327,31 +499,75 @@ class ClusterRouter:
                 )
             return self._executor
 
-    def _query_shard(self, shard_id: int, request: DataRequest) -> DataResponse:
-        return self.shards[shard_id].handle(request.for_shard(shard_id))
+    def _query_shard(
+        self, table: ShardTable, shard_id: int, request: DataRequest
+    ) -> DataResponse:
+        return table.shards[shard_id].handle(request.for_shard(shard_id))
 
     def _scatter_gather(self, request: DataRequest) -> DataResponse:
+        # One table read per request: the whole fan-out (shard-id
+        # resolution AND shard calls) uses the same generation, so an
+        # online swap between the two steps cannot mis-route.
+        with self._table_lock:
+            table = self._table
+            table.inflight += 1
+        try:
+            return self._scatter_gather_on(table, request)
+        finally:
+            with self._table_lock:
+                table.inflight -= 1
+                if table.inflight == 0:
+                    self._table_drained.notify_all()
+
+    def _scatter_gather_on(
+        self, table: ShardTable, request: DataRequest
+    ) -> DataResponse:
         rect = self.request_rect(request)
-        partitioning = self.partitionings[request.canvas_id]
+        partitioning = table.partitionings[request.canvas_id]
         shard_ids = partitioning.shards_for_rect(rect)
         with self._stats_lock:
-            self.stats.record_scatter(shard_ids)
+            # Shard ids name *regions* of one epoch: a straggler still
+            # finishing against a swapped-out table must not count its old
+            # region ids against the new epoch's cleared counters.
+            if table is self._table:
+                self.stats.record_scatter(shard_ids)
+        center_x, center_y = rect.center
+        with self._load_lock:
+            load = self.canvas_loads.get(request.canvas_id)
+            if load is None:
+                load = self.canvas_loads[request.canvas_id] = LoadHistogram(
+                    self.cluster_config.rebalance_load_samples
+                )
+            load.observe(center_x, center_y)
 
         executor = self._shard_executor() if len(shard_ids) > 1 else None
+        shard_responses: list[DataResponse] | None = None
         if executor is not None:
-            futures = [
-                executor.submit(self._query_shard, shard_id, request)
-                for shard_id in shard_ids
-            ]
-            shard_responses = [future.result() for future in futures]
-        else:
+            try:
+                futures = [
+                    executor.submit(self._query_shard, table, shard_id, request)
+                    for shard_id in shard_ids
+                ]
+            except RuntimeError:
+                # A concurrent swap shut this executor down between our
+                # fetch and the submit; any futures that did get in still
+                # run (idempotent reads) but are discarded — this request
+                # simply degrades to the sequential path below.
+                shard_responses = None
+            else:
+                shard_responses = [future.result() for future in futures]
+        if shard_responses is None:
             shard_responses = [
-                self._query_shard(shard_id, request) for shard_id in shard_ids
+                self._query_shard(table, shard_id, request) for shard_id in shard_ids
             ]
 
-        # Gather in shard-id order (the submission order above), so the
-        # merged object list is deterministic — byte-identical between the
-        # parallel and sequential paths.
+        # Gather into *canonical* order: objects sort by their dedup
+        # identity, so the merged list is byte-identical between the
+        # parallel and sequential paths AND invariant under the
+        # partitioning itself — an online rebalance can re-split shards
+        # without changing a single response byte (per-shard engines
+        # return rows in index order, which depends on what rows the
+        # shard holds; the sort erases that dependence).
         shard_ms: dict[str, float] = {}
         slowest_ms = 0.0
         merge_ms = 0.0
@@ -359,13 +575,14 @@ class ClusterRouter:
         received = 0
         if len(shard_ids) == 1:
             # Common case (fan-out 1): no replica can appear twice, so skip
-            # the dedup merge entirely.
+            # the dedup merge entirely.  Sorted into a fresh list: the
+            # shard's response (possibly a cached object) stays untouched.
             only = shard_responses[0]
             shard_ms[f"shard{shard_ids[0]}"] = only.query_ms
             slowest_ms = only.query_ms
             queries = only.queries_issued
             received = len(only.objects)
-            objects = only.objects
+            objects = self._canonical_order(list(only.objects))
         else:
             merged: dict[Any, dict[str, Any]] = {}
             for shard_id, shard_response in zip(shard_ids, shard_responses):
@@ -378,7 +595,10 @@ class ClusterRouter:
                 for obj in shard_response.objects:
                     merged.setdefault(self._identity(obj), obj)
                 merge_ms += timer.stop()
-            objects = list(merged.values())
+            timer = Timer()
+            timer.start()
+            objects = self._canonical_order(list(merged.values()))
+            merge_ms += timer.stop()
 
         response = DataResponse(
             request=request,
@@ -422,12 +642,28 @@ class ClusterRouter:
             for name, value in sorted(obj.items())
         )
 
+    @classmethod
+    def _canonical_order(cls, objects: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Sort gathered objects by dedup identity (in place; returned).
+
+        The order every response leaves the router in, whatever the
+        partitioning, topology or rebalance epoch that produced it.
+        """
+        try:
+            objects.sort(key=cls._identity)
+        except TypeError:
+            # Mixed identity types (e.g. int and str tuple_ids in one
+            # layer) have no natural order; repr gives a deterministic one.
+            objects.sort(key=lambda obj: repr(cls._identity(obj)))
+        return objects
+
     # -- metadata for the frontend -----------------------------------------------------
 
     def canvas_info(self, canvas_id: str) -> dict[str, Any]:
         """Canvas summary plus the shard regions serving it."""
-        info = self.shards[0].canvas_info(canvas_id)
-        info["shards"] = self.partitionings[canvas_id].describe()["regions"]
+        table = self._table  # one read: shards and regions from one epoch
+        info = table.shards[0].canvas_info(canvas_id)
+        info["shards"] = table.partitionings[canvas_id].describe()["regions"]
         return info
 
     def layer_density(self, canvas_id: str, layer_index: int) -> float:
@@ -448,6 +684,7 @@ class ClusterRouter:
         """Cluster topology: shard row counts and per-canvas regions."""
         return {
             "shard_count": self.shard_count,
+            "rebalance_epoch": self._table.epoch,
             "parallel": self.parallel,
             "wire_shards": self.cluster_config.wire_shards,
             "replicas": self.cluster_config.replicas,

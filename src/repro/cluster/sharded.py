@@ -43,11 +43,17 @@ class ShardHandle:
     :class:`~repro.serving.transport.TransportService`.  When no service has
     been attached (hand-built shards), calls fall back to locking the
     backend directly.
+
+    With ``worker_mode="processes"`` the embedded database only exists to
+    seed the worker's :class:`~repro.serving.worker.ShardSpec` dump; once
+    the workers are up the parent calls :meth:`detach_database` so it does
+    not hold every shard's rows a second time for the cluster's whole
+    serving lifetime (``rows_by_table`` keeps the counts).
     """
 
     shard_id: int
-    database: Database
-    backend: KyrixBackend
+    database: Database | None
+    backend: KyrixBackend | None
     #: Rows loaded into this shard, per table (includes boundary replicas).
     rows_by_table: dict[str, int] = field(default_factory=dict)
     #: Serialises queries against this shard's embedded engine so concurrent
@@ -60,28 +66,54 @@ class ShardHandle:
     def total_rows(self) -> int:
         return sum(self.rows_by_table.values())
 
+    def detach_database(self) -> None:
+        """Drop the parent-side database/backend (the rows live elsewhere).
+
+        Only valid once a ``service`` is attached that does not need the
+        embedded engine (a worker-process stub): the fallback call paths
+        below would have nothing to serve from.
+        """
+        if self.service is None:
+            raise KyrixError(
+                f"shard {self.shard_id} has no serving stack; detaching its "
+                "database would leave it unable to answer"
+            )
+        if self.backend is not None:
+            self.backend.close()
+        self.backend = None
+        self.database = None
+
+    def _require_backend(self) -> KyrixBackend:
+        if self.backend is None:
+            raise KyrixError(
+                f"shard {self.shard_id} was detached from its embedded "
+                "database (process-worker topology); serve through its "
+                "service instead"
+            )
+        return self.backend
+
     def handle(self, request):
         if self.service is not None:
             return self.service.handle(request)
         with self.lock:
-            return self.backend.handle(request)
+            return self._require_backend().handle(request)
 
     def canvas_info(self, canvas_id: str):
         if self.service is not None:
             return self.service.canvas_info(canvas_id)
         with self.lock:
-            return self.backend.canvas_info(canvas_id)
+            return self._require_backend().canvas_info(canvas_id)
 
     def layer_density(self, canvas_id: str, layer_index: int) -> float:
         if self.service is not None:
             return self.service.layer_density(canvas_id, layer_index)
         with self.lock:
-            return self.backend.layer_density(canvas_id, layer_index)
+            return self._require_backend().layer_density(canvas_id, layer_index)
 
     def close(self) -> None:
         if self.service is not None:
             self.service.close()
-        else:
+        elif self.backend is not None:
             self.backend.close()
 
 

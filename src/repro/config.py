@@ -193,10 +193,37 @@ class ClusterConfig:
     worker_port_base:
         First TCP port assigned to worker processes (worker ``i`` binds
         ``worker_port_base + i``); ``0`` (default) lets every worker bind
-        an ephemeral port and report it back.
+        an ephemeral port and report it back.  Across rebalances, each
+        worker generation offsets its ports by ``generation * pool size``
+        so a new pool can come up while the old one still serves.
     worker_spawn_timeout_s:
         Seconds the cluster builder waits for each worker process to
         report ready before failing the build.
+    rebalance_enabled:
+        When true, :func:`repro.cluster.builder.build_cluster` attaches a
+        :class:`~repro.cluster.rebalancer.LoadRebalancer` to the built
+        cluster (``cluster.rebalancer``), so callers can snapshot live
+        load skew and perform online shard migration without assembling
+        the rebalancer by hand.  The router records the per-canvas request
+        load either way; this knob only controls the convenience wiring.
+    rebalance_skew_threshold:
+        Load-skew trigger for :meth:`LoadRebalancer.should_rebalance`:
+        the maximum per-shard request count divided by the mean, above
+        which the observed traffic counts as skewed.  ``1.0`` is perfect
+        balance; the default ``2.0`` means one shard carries at least
+        twice the average load.
+    rebalance_min_requests:
+        Minimum number of scatter-gathers that must have been observed
+        before the skew metric is trusted (a handful of requests can look
+        arbitrarily skewed without meaning anything).
+    rebalance_load_samples:
+        Per-canvas cap on the recorded request-footprint centres the
+        router keeps for the load-weighted repartitioner (a ring buffer:
+        old samples fall off, so the histogram tracks *recent* traffic).
+    rebalance_drain_timeout_s:
+        Seconds an online swap waits for in-flight requests against the
+        retired shard table to drain before closing its shard stacks (and
+        worker pool) anyway.
     """
 
     enabled: bool = False
@@ -216,6 +243,11 @@ class ClusterConfig:
     worker_mode: str = "threads"
     worker_port_base: int = 0
     worker_spawn_timeout_s: float = 10.0
+    rebalance_enabled: bool = False
+    rebalance_skew_threshold: float = 2.0
+    rebalance_min_requests: int = 64
+    rebalance_load_samples: int = 4096
+    rebalance_drain_timeout_s: float = 30.0
 
     def validate(self) -> None:
         if self.shard_count < 1:
@@ -248,6 +280,17 @@ class ClusterConfig:
             )
         if self.worker_spawn_timeout_s <= 0:
             raise KyrixError("worker_spawn_timeout_s must be positive")
+        if self.rebalance_skew_threshold < 1.0:
+            raise KyrixError(
+                "rebalance_skew_threshold must be >= 1.0 (1.0 is perfect "
+                f"balance), got {self.rebalance_skew_threshold}"
+            )
+        if self.rebalance_min_requests < 1:
+            raise KyrixError("rebalance_min_requests must be >= 1")
+        if self.rebalance_load_samples < 1:
+            raise KyrixError("rebalance_load_samples must be >= 1")
+        if self.rebalance_drain_timeout_s <= 0:
+            raise KyrixError("rebalance_drain_timeout_s must be positive")
 
 
 @dataclass

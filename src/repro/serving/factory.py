@@ -45,6 +45,7 @@ def build_service(
     replicas: int | None = None,
     replica_policy: str | None = None,
     worker_mode: str | None = None,
+    rebalance: bool | None = None,
     metrics: bool = False,
 ) -> "DataService":
     """Build the configured serving stack and return its outermost service.
@@ -79,6 +80,13 @@ def build_service(
         ``"processes"`` forks one worker process per shard replica behind
         a socket transport (:mod:`repro.serving.worker`) instead of the
         in-process thread topology.  Only meaningful for sharded stacks.
+    rebalance:
+        Per-build override of ``config.cluster.rebalance_enabled``: when
+        true the built cluster carries a
+        :class:`~repro.cluster.rebalancer.LoadRebalancer` (reachable as
+        ``unwrap(service, ClusterRouter).cluster.rebalancer``) ready to
+        migrate the shard set online from observed load skew.  Only
+        meaningful for sharded stacks.
     metrics:
         Wrap the stack in a :class:`~repro.serving.middleware.MetricsService`
         recording per-request latency breakdowns.
@@ -111,6 +119,7 @@ def build_service(
             replicas=replicas,
             replica_policy=replica_policy,
             worker_mode=worker_mode,
+            rebalance=rebalance,
             tile_sizes=tile_sizes,
         )
         service: "DataService" = cluster.router

@@ -55,6 +55,7 @@ if TYPE_CHECKING:
     from ..storage.database import Database
 
 __all__ = [
+    "GENERATION_PORT_STRIDE",
     "ShardSpec",
     "TableDump",
     "WorkerHandle",
@@ -284,6 +285,10 @@ def worker_main(payload: bytes, port: int, ready_conn: Any) -> None:
 # Parent-side pool
 # ---------------------------------------------------------------------------
 
+#: Fixed-port pools reserve this many ports per rebalance generation, so a
+#: new pool can bind while the previous generation still serves its block.
+GENERATION_PORT_STRIDE = 128
+
 
 @dataclass
 class WorkerHandle:
@@ -318,6 +323,17 @@ class WorkerPool:
     predictable ports).  Workers that do not report ready within
     ``spawn_timeout_s`` — or report an error — fail the whole
     :meth:`start`, which tears down anything already running.
+
+    ``generation`` supports the online-rebalance handoff: while a new
+    shard set spawns, the previous generation's pool is still serving, so
+    the new one must not collide with it.  The generation is baked into
+    the worker process names (``kyrix-worker-g1-s0r0``, so both
+    generations stay tellable apart in ``ps`` during the handoff) and,
+    with a fixed ``port_base``, offsets the port range by
+    ``generation * GENERATION_PORT_STRIDE`` — the old pool keeps its ports
+    until it drains and the new one binds its own block (the stride, not
+    the pool size, keeps a shrinking rebalance from landing inside the
+    still-bound old range).
     """
 
     def __init__(
@@ -327,12 +343,17 @@ class WorkerPool:
         port_base: int = 0,
         spawn_timeout_s: float = 10.0,
         start_method: str | None = None,
+        generation: int = 0,
     ) -> None:
         if not specs:
             raise WorkerError("a worker pool needs at least one shard spec")
+        if generation < 0:
+            raise WorkerError(f"generation must be >= 0, got {generation}")
         self.specs = list(specs)
         self.port_base = port_base
         self.spawn_timeout_s = spawn_timeout_s
+        self.generation = generation
+        self._port_offset = generation * GENERATION_PORT_STRIDE
         if start_method is None:
             # fork is dramatically cheaper than spawn and the specs are
             # fully picklable either way; fall back where fork is absent.
@@ -361,11 +382,18 @@ class WorkerPool:
                 if payload is None:
                     payload = payloads[id(spec)] = spec.to_payload()
                 parent_conn, child_conn = self._context.Pipe(duplex=False)
-                port = self.port_base + index if self.port_base else 0
+                port = (
+                    self.port_base + self._port_offset + index
+                    if self.port_base
+                    else 0
+                )
                 process = self._context.Process(
                     target=worker_main,
                     args=(payload, port, child_conn),
-                    name=f"kyrix-worker-s{spec.shard_id}r{replica_index}",
+                    name=(
+                        f"kyrix-worker-g{self.generation}"
+                        f"-s{spec.shard_id}r{replica_index}"
+                    ),
                     daemon=True,
                 )
                 process.start()
@@ -455,6 +483,7 @@ class WorkerPool:
             {
                 "shard_id": handle.shard_id,
                 "replica_index": handle.replica_index,
+                "generation": self.generation,
                 "pid": handle.pid,
                 "port": handle.port,
                 "alive": handle.alive,

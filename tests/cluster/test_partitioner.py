@@ -11,6 +11,8 @@ from repro.bench.apps import default_config
 from repro.cluster import (
     BalancedKDPartitioner,
     GridPartitioner,
+    LoadHistogram,
+    LoadWeightedKDPartitioner,
     RequestCoalescer,
     build_cluster,
     make_partitioner,
@@ -104,6 +106,114 @@ def test_make_partitioner_rejects_unknown_strategy():
     assert isinstance(make_partitioner("kd", 2), BalancedKDPartitioner)
     with pytest.raises(KyrixError):
         make_partitioner("hash", 2)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning edge cases (degenerate canvases, shared edges, load splits)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("width,height", [(0.0, 0.0), (0.0, 400.0), (640.0, 0.0)])
+@pytest.mark.parametrize("shard_count", [1, 2, 4])
+def test_degenerate_canvases_still_cover_exactly(width, height, shard_count):
+    """A zero-area canvas (empty app, collapsed axis) must not crash or gap."""
+    for partitioning in (
+        GridPartitioner(shard_count).partition("c", width, height),
+        BalancedKDPartitioner(shard_count).partition("c", width, height, None),
+        LoadWeightedKDPartitioner(shard_count).partition(
+            "c", width, height, LoadHistogram()
+        ),
+    ):
+        assert partitioning.shard_count == shard_count
+        union = partitioning.regions[0].rect
+        for region in partitioning.regions[1:]:
+            union = union.union(region.rect)
+        assert union.as_tuple() == (0.0, 0.0, width, height)
+        assert sum(region.rect.area for region in partitioning.regions) == 0.0
+        # Every canvas point (there is exactly one when both axes collapse)
+        # still resolves to a deterministic shard.
+        assert partitioning.shard_for_point(0.0, 0.0) == 0
+
+
+def test_shards_for_rect_on_shared_edges():
+    """Region edges are shared: queries exactly on them scatter to all
+    touching shards, and zero-area query rects behave like their boundary."""
+    partitioning = GridPartitioner(4).partition("c", 100.0, 100.0)
+    # The full vertical boundary line (zero width) touches both columns.
+    vertical_edge = Rect(50.0, 0.0, 50.0, 100.0)
+    assert partitioning.shards_for_rect(vertical_edge) == [0, 1, 2, 3]
+    # The centre point (zero area) touches all four regions.
+    center_point = Rect(50.0, 50.0, 50.0, 50.0)
+    assert partitioning.shards_for_rect(center_point) == [0, 1, 2, 3]
+    # A corner point touches exactly one region.
+    corner = Rect(0.0, 0.0, 0.0, 0.0)
+    assert partitioning.shards_for_rect(corner) == [0]
+    # A rect that *reaches* the shared boundary scatters to every shard
+    # touching it (boundary objects are replicated, so any of them can
+    # answer; dedup handles the rest)...
+    flush = Rect(0.0, 0.0, 50.0, 50.0)
+    assert partitioning.shards_for_rect(flush) == [0, 1, 2, 3]
+    # ... while stopping short of the boundary stays single-shard.
+    inside = Rect(0.0, 0.0, 49.0, 49.0)
+    assert partitioning.shards_for_rect(inside) == [0]
+
+
+def test_load_weighted_partitioner_splits_where_the_weight_is():
+    histogram = LoadHistogram()
+    # All observed traffic inside the left tenth of a wide canvas.
+    for i in range(100):
+        histogram.observe(float(i), float(i % 37) * 2.0)
+    partitioning = LoadWeightedKDPartitioner(4).partition(
+        "c", 1000.0, 100.0, histogram
+    )
+    assert partitioning.shard_count == 4
+    _assert_exact_cover(partitioning, 1000.0, 100.0)
+    hot_shards = {
+        partitioning.shard_for_point(x, y) for x, y, _ in histogram.points
+    }
+    assert len(hot_shards) >= 3, (
+        f"hot traffic should spread over most shards, landed on {hot_shards}"
+    )
+
+
+def test_load_weighted_partitioner_clamps_out_of_canvas_samples():
+    histogram = LoadHistogram()
+    histogram.observe(-500.0, 50.0)
+    histogram.observe(1500.0, -50.0)
+    histogram.observe(200.0, 200.0, weight=3.0)
+    partitioning = LoadWeightedKDPartitioner(2).partition(
+        "c", 1000.0, 100.0, histogram
+    )
+    _assert_exact_cover(partitioning, 1000.0, 100.0)
+
+
+def test_load_weighted_partitioner_without_signal_falls_back_to_midpoints():
+    partitioning = LoadWeightedKDPartitioner(4).partition("c", 800.0, 800.0, None)
+    _assert_exact_cover(partitioning, 800.0, 800.0)
+    # Midpoint splits of a square: four equal quadrants.
+    assert sorted(region.rect.area for region in partitioning.regions) == (
+        [160_000.0] * 4
+    )
+
+
+def test_load_histogram_ring_buffer_drops_oldest():
+    histogram = LoadHistogram(limit=3)
+    for i in range(5):
+        histogram.observe(float(i), 0.0)
+    assert len(histogram) == 3
+    assert [x for x, _, _ in histogram.points] == [2.0, 3.0, 4.0]
+    assert histogram.total_weight() == 3.0
+    # Zero/negative weights are ignored outright.
+    histogram.observe(9.0, 9.0, weight=0.0)
+    assert len(histogram) == 3
+    clone = histogram.copy()
+    clone.observe(7.0, 7.0)
+    assert len(histogram) == 3 and len(clone) == 3  # bounded copy, detached
+
+
+def test_load_weighted_partitioner_rejects_bad_shard_count():
+    with pytest.raises(KyrixError):
+        LoadWeightedKDPartitioner(0)
 
 
 # ---------------------------------------------------------------------------
