@@ -57,16 +57,26 @@ def _print_table(results: list[ClusterScalingResult]) -> None:
     if not rows:
         print("no results")
         return
-    headers = list(rows[0].keys())
+    # Telemetry runs add per-stage percentile columns that can differ
+    # between cells; print the union and leave absent cells blank.
+    headers: list[str] = []
+    for row in rows:
+        for header in row:
+            if header not in headers:
+                headers.append(header)
     widths = {
-        header: max(len(header), *(len(str(row[header])) for row in rows))
+        header: max(len(header), *(len(str(row.get(header, ""))) for row in rows))
         for header in headers
     }
     line = "  ".join(header.ljust(widths[header]) for header in headers)
     print(line)
     print("-" * len(line))
     for row in rows:
-        print("  ".join(str(row[header]).ljust(widths[header]) for header in headers))
+        print(
+            "  ".join(
+                str(row.get(header, "")).ljust(widths[header]) for header in headers
+            )
+        )
 
 
 def _print_shard_balance(results: list[ClusterScalingResult]) -> None:
@@ -127,6 +137,11 @@ def main(argv: list[str] | None = None) -> list[ClusterScalingResult]:
         help="call shard backends in-process instead of over the wire transport",
     )
     parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="trace every request and add per-stage percentile columns",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke: tiny scale, 1/2 shards, 4 sessions, uniform only",
@@ -159,6 +174,7 @@ def main(argv: list[str] | None = None) -> list[ClusterScalingResult]:
         parallel=not args.sequential,
         wire_shards=False if args.no_wire else None,
         worker_mode=args.workers,
+        telemetry=args.telemetry,
     )
     _print_table(results)
     _print_shard_balance(results)

@@ -3,9 +3,13 @@
 Compares a freshly produced benchmark artifact (``--json`` output of
 ``bench_cluster_scaling.py`` / ``bench_replica_failover.py`` /
 ``bench_rebalance.py``) against a checked-in baseline of the same shape
-and **fails (exit 1) when the metric regresses by more than the allowed
+and **fails (exit 1) when a metric regresses by more than the allowed
 fraction** — by default ``wall_ms_per_step`` growing more than 50% over
-the baseline value.
+the baseline value.  ``--metric`` accepts several columns at once; each
+may carry its own margin as ``name=fraction`` (e.g. ``p99_ms=1.0`` —
+tail percentiles are noisier than means, so they get a wider gate).  A
+metric missing from either side of a row pair is reported as ``SKIP``
+and not gated, so baselines can grow new columns incrementally.
 
 Rows are matched by their identity columns (``--keys``; default: every
 non-metric column the two files share, so the gate works for all three
@@ -23,7 +27,7 @@ Usage::
     python benchmarks/check_regression.py \
         --current /tmp/bench_rebalance.json \
         --baseline benchmarks/baselines/bench_rebalance.json \
-        [--metric wall_ms_per_step] [--max-regression 0.5]
+        [--metric wall_ms_per_step p99_ms=1.0] [--max-regression 0.5]
 """
 
 from __future__ import annotations
@@ -84,8 +88,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", type=Path, required=True)
     parser.add_argument(
         "--metric",
-        default="wall_ms_per_step",
-        help="row column to gate on (lower is better)",
+        nargs="+",
+        default=["wall_ms_per_step"],
+        help="row columns to gate on (lower is better); each may override "
+        "the shared margin as name=fraction (e.g. p99_ms=1.0)",
     )
     parser.add_argument(
         "--max-regression",
@@ -114,6 +120,11 @@ def main(argv: list[str] | None = None) -> int:
     columns = identity_columns(current_rows, args.keys)
     baseline_by_key = {row_key(row, columns): row for row in baseline_rows}
 
+    metrics: list[tuple[str, float]] = []
+    for spec in args.metric:
+        name, _, margin = spec.partition("=")
+        metrics.append((name, float(margin) if margin else args.max_regression))
+
     failures: list[str] = []
     compared = 0
     for row in current_rows:
@@ -123,25 +134,26 @@ def main(argv: list[str] | None = None) -> int:
         if baseline is None:
             print(f"NEW       {label}: no baseline row (not gated)")
             continue
-        current_value = row.get(args.metric)
-        baseline_value = baseline.get(args.metric)
-        if current_value is None or baseline_value is None:
-            print(f"SKIP      {label}: metric {args.metric!r} missing")
-            continue
-        compared += 1
-        limit = baseline_value * (1.0 + args.max_regression)
-        status = "OK"
-        if current_value > limit:
-            status = "REGRESSED"
-            failures.append(
-                f"{label}: {args.metric} {current_value} > "
-                f"{limit:.3f} (baseline {baseline_value} "
-                f"+{args.max_regression:.0%})"
+        for metric, max_regression in metrics:
+            current_value = row.get(metric)
+            baseline_value = baseline.get(metric)
+            if current_value is None or baseline_value is None:
+                print(f"SKIP      {label}: metric {metric!r} missing")
+                continue
+            compared += 1
+            limit = baseline_value * (1.0 + max_regression)
+            status = "OK"
+            if current_value > limit:
+                status = "REGRESSED"
+                failures.append(
+                    f"{label}: {metric} {current_value} > "
+                    f"{limit:.3f} (baseline {baseline_value} "
+                    f"+{max_regression:.0%})"
+                )
+            print(
+                f"{status:<9} {label}: {metric} {current_value} "
+                f"(baseline {baseline_value}, limit {limit:.3f})"
             )
-        print(
-            f"{status:<9} {label}: {args.metric} {current_value} "
-            f"(baseline {baseline_value}, limit {limit:.3f})"
-        )
     for key in baseline_by_key:
         label = ", ".join(f"{name}={value}" for name, value in key)
         print(f"GONE      {label}: baseline row has no current match")

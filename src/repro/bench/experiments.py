@@ -353,9 +353,13 @@ class ClusterScalingResult:
     router_cache_hits: int
     duplicates_removed: int
     per_shard_requests: dict[int, int]
+    #: Per-stage span-duration percentiles from the telemetry registry
+    #: (``{span_name: {"p50": ..., "p99": ...}}``), populated only when the
+    #: experiment ran with ``telemetry=True``.
+    stage_percentiles: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def row(self) -> dict[str, float | str | int]:
-        return {
+        row: dict[str, float | str | int] = {
             "dataset": self.dataset,
             "shards": self.shard_count,
             "strategy": self.strategy,
@@ -366,6 +370,7 @@ class ClusterScalingResult:
             "wall_ms_per_step": round(self.measured_step_ms, 3),
             "p50_ms": round(self.latency.median, 2),
             "p95_ms": round(self.latency.p95, 2),
+            "p99_ms": round(self.latency.p99, 2),
             "max_ms": round(self.latency.maximum, 2),
             "sim_query_ms": round(self.simulated_query_ms, 2),
             "objects": self.objects_fetched,
@@ -374,6 +379,11 @@ class ClusterScalingResult:
             "cache_hits": self.router_cache_hits,
             "dups_removed": self.duplicates_removed,
         }
+        for stage in sorted(self.stage_percentiles):
+            snapshot = self.stage_percentiles[stage]
+            row[f"{stage}_p50_ms"] = round(snapshot.get("p50", 0.0), 3)
+            row[f"{stage}_p99_ms"] = round(snapshot.get("p99", 0.0), 3)
+        return row
 
 
 def concurrent_pan_workload(
@@ -555,6 +565,7 @@ def cluster_scaling(
     parallel: bool = True,
     wire_shards: bool | None = None,
     worker_mode: str = "threads",
+    telemetry: bool = False,
 ) -> list[ClusterScalingResult]:
     """Throughput/latency of the sharded cluster at increasing shard counts.
 
@@ -573,6 +584,11 @@ def cluster_scaling(
     scatter-gather critical path (slowest shard + merge) plus simulated
     link time; ``simulated_query_ms`` isolates the query component of that
     model.
+
+    With ``telemetry=True`` every cluster is built with the tracing plane
+    on (:mod:`repro.telemetry`), and each result carries per-stage
+    span-duration percentiles (``stage_percentiles``) flattened into the
+    ``--json`` artifact as ``<stage>_p50_ms`` / ``<stage>_p99_ms`` columns.
     """
     results: list[ClusterScalingResult] = []
     for dataset_name in datasets:
@@ -594,6 +610,7 @@ def cluster_scaling(
                 parallel=parallel,
                 wire_shards=wire_shards,
                 worker_mode=worker_mode,
+                telemetry=True if telemetry else None,
             )
             # Report what actually ran: the KD partitioner falls back to the
             # grid when a canvas has too little density signal, and that must
@@ -629,6 +646,17 @@ def cluster_scaling(
                     step_times.append(breakdown.total_ms)
                     query_times.append(breakdown.query_ms)
             router_stats = cluster.router.stats
+            stage_percentiles: dict[str, dict[str, float]] = {}
+            if telemetry:
+                # Build-time configure() reset the registry, so this
+                # snapshot covers exactly this (dataset, shard count) cell.
+                from ..telemetry import get_registry
+
+                for name, snapshot in get_registry().snapshot().items():
+                    stage_percentiles[name] = {
+                        "p50": snapshot["p50"],
+                        "p99": snapshot["p99"],
+                    }
             results.append(
                 ClusterScalingResult(
                     dataset=dataset_name,
@@ -650,6 +678,7 @@ def cluster_scaling(
                     router_cache_hits=router_stats.cache_hits,
                     duplicates_removed=router_stats.duplicates_removed,
                     per_shard_requests=dict(router_stats.per_shard_requests),
+                    stage_percentiles=stage_percentiles,
                 )
             )
             # Release the scatter executor before the next shard count.

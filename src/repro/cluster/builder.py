@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Any
 
 from ..config import ClusterConfig, KyrixConfig
 from ..server.backend import KyrixBackend
+from ..telemetry import configure as configure_telemetry
 from ..serving.base import DataService
 from ..serving.middleware import CachingService, SerializedService
 from ..serving.replica import ReplicaService
@@ -262,6 +263,7 @@ def build_cluster(
     replica_policy: str | None = None,
     worker_mode: str | None = None,
     rebalance: bool | None = None,
+    telemetry: bool | None = None,
     tile_sizes: tuple[int, ...] = (),
 ) -> ShardedCluster:
     """Shard a precomputed backend into a scatter-gather serving cluster.
@@ -277,8 +279,19 @@ def build_cluster(
     ``cluster.rebalance_enabled``) the cluster carries a ready-to-use
     :class:`~repro.cluster.rebalancer.LoadRebalancer` as
     ``cluster.rebalancer``.
+
+    ``telemetry`` overrides ``config.telemetry.enabled`` for this build:
+    the effective configuration (with the flag folded in) is what the
+    :class:`~repro.serving.worker.ShardSpec` dumps carry, so worker
+    processes stand up the same tracing plane as the router side.
     """
     config = source_backend.config
+    if telemetry is not None and telemetry != config.telemetry.enabled:
+        config = replace(
+            config, telemetry=replace(config.telemetry, enabled=telemetry)
+        )
+    if telemetry is not None or config.telemetry.enabled:
+        configure_telemetry(config.telemetry)
     cluster_config = config.cluster
     overrides = {
         name: value

@@ -55,6 +55,7 @@ from ..server.cache import LRUCache
 from ..server.tile import TileScheme
 from ..serving.middleware import CachingService, CoalescingService
 from ..storage.rtree import Rect
+from ..telemetry import get_tracer
 from .coalescer import RequestCoalescer
 from .partitioner import LoadHistogram, Partitioning
 from .sharded import ShardHandle
@@ -341,17 +342,25 @@ class ClusterRouter:
 
     def handle(self, request: DataRequest) -> DataResponse:
         """Answer one data request via cache, coalescing or scatter-gather."""
-        with self._stats_lock:
-            self.stats.requests += 1
-        self._resolve_layer(request)
-        response = self._stack.handle(request)
-        if response.from_cache:
+        with get_tracer().span(
+            "request",
+            canvas=request.canvas_id,
+            granularity=request.granularity,
+            design=request.design,
+        ) as span:
             with self._stats_lock:
-                self.stats.cache_hits += 1
-        elif response.coalesced:
-            with self._stats_lock:
-                self.stats.coalesced_requests += 1
-        return response
+                self.stats.requests += 1
+            self._resolve_layer(request)
+            response = self._stack.handle(request)
+            if response.from_cache:
+                with self._stats_lock:
+                    self.stats.cache_hits += 1
+            elif response.coalesced:
+                with self._stats_lock:
+                    self.stats.coalesced_requests += 1
+            span.set_attribute("from_cache", response.from_cache)
+            span.set_attribute("coalesced", response.coalesced)
+            return response
 
     def warm(self, request: DataRequest) -> None:
         """Execute a request purely to populate the router cache (prefetch)."""
@@ -500,9 +509,19 @@ class ClusterRouter:
             return self._executor
 
     def _query_shard(
-        self, table: ShardTable, shard_id: int, request: DataRequest
+        self,
+        table: ShardTable,
+        shard_id: int,
+        request: DataRequest,
+        trace_context: dict[str, Any] | None = None,
     ) -> DataResponse:
-        return table.shards[shard_id].handle(request.for_shard(shard_id))
+        # ``attach`` joins this (possibly pool) thread to the caller's
+        # trace so shard spans nest under the scatter span regardless of
+        # which thread runs them; a no-op when the context is None.
+        tracer = get_tracer()
+        with tracer.attach(trace_context):
+            with tracer.span("shard", shard_id=shard_id):
+                return table.shards[shard_id].handle(request.for_shard(shard_id))
 
     def _scatter_gather(self, request: DataRequest) -> DataResponse:
         # One table read per request: the whole fan-out (shard-id
@@ -522,9 +541,16 @@ class ClusterRouter:
     def _scatter_gather_on(
         self, table: ShardTable, request: DataRequest
     ) -> DataResponse:
+        with get_tracer().span("scatter", epoch=table.epoch) as scatter_span:
+            return self._scatter_gather_traced(table, request, scatter_span)
+
+    def _scatter_gather_traced(
+        self, table: ShardTable, request: DataRequest, scatter_span: Any
+    ) -> DataResponse:
         rect = self.request_rect(request)
         partitioning = table.partitionings[request.canvas_id]
         shard_ids = partitioning.shards_for_rect(rect)
+        scatter_span.set_attribute("fanout", len(shard_ids))
         with self._stats_lock:
             # Shard ids name *regions* of one epoch: a straggler still
             # finishing against a swapped-out table must not count its old
@@ -541,11 +567,16 @@ class ClusterRouter:
             load.observe(center_x, center_y)
 
         executor = self._shard_executor() if len(shard_ids) > 1 else None
+        # Captured once on the scattering thread so every fan-out thread
+        # parents its shard span under this request's scatter span.
+        trace_context = get_tracer().current_context()
         shard_responses: list[DataResponse] | None = None
         if executor is not None:
             try:
                 futures = [
-                    executor.submit(self._query_shard, table, shard_id, request)
+                    executor.submit(
+                        self._query_shard, table, shard_id, request, trace_context
+                    )
                     for shard_id in shard_ids
                 ]
             except RuntimeError:
@@ -558,7 +589,8 @@ class ClusterRouter:
                 shard_responses = [future.result() for future in futures]
         if shard_responses is None:
             shard_responses = [
-                self._query_shard(table, shard_id, request) for shard_id in shard_ids
+                self._query_shard(table, shard_id, request, trace_context)
+                for shard_id in shard_ids
             ]
 
         # Gather into *canonical* order: objects sort by their dedup

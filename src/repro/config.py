@@ -294,6 +294,44 @@ class ClusterConfig:
 
 
 @dataclass
+class TelemetryConfig:
+    """Configuration of the tracing + metrics plane (:mod:`repro.telemetry`).
+
+    Attributes
+    ----------
+    enabled:
+        When true, every serving layer opens timed spans and feeds the
+        process-wide latency histograms.  Off by default: disabled tracing
+        reduces to a shared no-op span object on the hot path.
+    sample_rate:
+        Fraction of traces recorded in full span detail (``1.0`` keeps
+        every trace).  Sampling is deterministic (counter-based), so a rate
+        of ``0.1`` keeps exactly every tenth trace.  Unsampled requests
+        still feed the duration histograms.
+    trace_buffer:
+        Number of newest completed traces retained in the in-memory ring
+        buffer served by ``GET /trace/<trace_id>``.
+    export_path:
+        Optional path of a JSONL file that every sampled trace is appended
+        to (one line per trace), consumable by
+        ``python -m repro.telemetry.dump``.
+    """
+
+    enabled: bool = False
+    sample_rate: float = 1.0
+    trace_buffer: int = 256
+    export_path: str | None = None
+
+    def validate(self) -> None:
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise KyrixError(
+                f"sample_rate must be in [0.0, 1.0], got {self.sample_rate}"
+            )
+        if self.trace_buffer < 1:
+            raise KyrixError(f"trace_buffer must be >= 1, got {self.trace_buffer}")
+
+
+@dataclass
 class KyrixConfig:
     """Top-level configuration for a Kyrix application.
 
@@ -307,6 +345,7 @@ class KyrixConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     interactivity_budget_ms: float = INTERACTIVITY_BUDGET_MS
     viewport_width: int = 1000
     viewport_height: int = 1000
@@ -325,6 +364,7 @@ class KyrixConfig:
         self.cache.validate()
         self.prefetch.validate()
         self.cluster.validate()
+        self.telemetry.validate()
 
     # -- serialisation ------------------------------------------------------
 
@@ -341,12 +381,14 @@ class KyrixConfig:
         cache = CacheConfig(**known.pop("cache", {}))
         prefetch = PrefetchConfig(**known.pop("prefetch", {}))
         cluster = ClusterConfig(**known.pop("cluster", {}))
+        telemetry = TelemetryConfig(**known.pop("telemetry", {}))
         config = cls(
             storage=storage,
             network=network,
             cache=cache,
             prefetch=prefetch,
             cluster=cluster,
+            telemetry=telemetry,
             **known,
         )
         config.validate()

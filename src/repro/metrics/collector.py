@@ -63,7 +63,12 @@ class LatencyBreakdown:
 
 @dataclass
 class SummaryStats:
-    """Summary statistics over a sequence of per-step response times."""
+    """Summary statistics over a sequence of per-step response times.
+
+    Percentiles use nearest-rank semantics (see :func:`percentile`); the
+    tail fields ``p99``/``p999`` default to 0.0 so older call sites and
+    serialized summaries remain valid.
+    """
 
     count: int
     mean: float
@@ -72,29 +77,41 @@ class SummaryStats:
     minimum: float
     maximum: float
     stddev: float
+    p99: float = 0.0
+    p999: float = 0.0
 
     def within_budget(self, budget_ms: float) -> bool:
         """Check the paper's interactivity requirement against the p95."""
         return self.p95 <= budget_ms
 
 
-def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Linear-interpolation percentile of an already sorted sequence."""
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted sequence.
+
+    The nearest-rank definition: the p-th percentile of ``n`` samples is
+    the value at (1-indexed) rank ``max(1, ceil(p * n))``.  Unlike linear
+    interpolation it always returns an *observed* sample, is exact on
+    small ``n`` (the median of 1..100 is 50, its p95 is 95), and is the
+    single definition shared by bench ``summarize`` rows and the telemetry
+    histograms behind ``GET /metrics`` — the two surfaces agree by
+    construction, not by coincidence.
+    """
     if not sorted_values:
         raise ValueError("cannot take a percentile of an empty sequence")
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    rank = fraction * (len(sorted_values) - 1)
-    low = int(math.floor(rank))
-    high = int(math.ceil(rank))
-    if low == high:
-        return sorted_values[low]
-    weight = rank - low
-    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+#: Backwards-compatible private alias (pre-telemetry callers).
+_percentile = percentile
 
 
 def summarize(values: Iterable[float]) -> SummaryStats:
-    """Compute :class:`SummaryStats` for an iterable of latencies."""
+    """Compute :class:`SummaryStats` for an iterable of latencies.
+
+    All percentiles (median, p95, p99, p999) are nearest-rank — see
+    :func:`percentile` for the exact semantics.
+    """
     data = sorted(float(v) for v in values)
     if not data:
         raise ValueError("cannot summarise an empty latency sequence")
@@ -104,11 +121,13 @@ def summarize(values: Iterable[float]) -> SummaryStats:
     return SummaryStats(
         count=count,
         mean=mean,
-        median=_percentile(data, 0.5),
-        p95=_percentile(data, 0.95),
+        median=percentile(data, 0.5),
+        p95=percentile(data, 0.95),
         minimum=data[0],
         maximum=data[-1],
         stddev=math.sqrt(variance),
+        p99=percentile(data, 0.99),
+        p999=percentile(data, 0.999),
     )
 
 

@@ -39,6 +39,12 @@ class DataRequest:
     #: for the router-level identity of a scatter-gather request, so shard
     #: caches and the shared router cache never alias each other.
     shard_id: int | None = None
+    #: Optional distributed-tracing context (``{"trace_id", "span_id",
+    #: "sampled"}``) stamped onto the wire form by the transport stub so a
+    #: worker on the far side can parent its spans under the caller's
+    #: trace.  Never part of the cache identity; old peers that don't
+    #: understand tracing simply carry it through untouched.
+    trace: dict[str, Any] | None = None
 
     def cache_key(self) -> tuple[Any, ...]:
         """A hashable identity used by the frontend, backend and router caches."""
@@ -111,11 +117,22 @@ class DataResponse:
     #: Whether this response was shared from a coalesced in-flight request
     #: issued by another concurrent session.
     coalesced: bool = False
+    #: Span dictionaries recorded on the far side of a transport while the
+    #: request was served there; the near-side stub drains these into its
+    #: own tracer, so responses above the transport always carry ``[]`` and
+    #: stay byte-identical across topologies.
+    trace: list[dict[str, Any]] = field(default_factory=list)
 
     def object_count(self) -> int:
         return len(self.objects)
 
-    def to_json(self) -> str:
+    def to_json(self, *, trace: list[dict[str, Any]] | None = None) -> str:
+        """Canonical JSON encoding.
+
+        ``trace`` overrides the response's own span list for this one
+        encoding — transports use it to ship remotely-collected spans home
+        without mutating a response object that may live in a cache.
+        """
         return json.dumps(
             {
                 "request": asdict(self.request),
@@ -125,6 +142,7 @@ class DataResponse:
                 "queries_issued": self.queries_issued,
                 "shard_ms": self.shard_ms,
                 "coalesced": self.coalesced,
+                "trace": self.trace if trace is None else trace,
             },
             sort_keys=True,
             default=str,
@@ -141,6 +159,7 @@ class DataResponse:
             queries_issued=data.get("queries_issued", 0),
             shard_ms=data.get("shard_ms", {}),
             coalesced=data.get("coalesced", False),
+            trace=list(data.get("trace", [])),
         )
 
     @classmethod

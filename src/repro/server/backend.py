@@ -38,6 +38,7 @@ from ..minisql.executor import SQLEngine
 from ..net.protocol import DataRequest, DataResponse
 from ..storage.database import Database
 from ..storage.rtree import Rect
+from ..telemetry import get_tracer
 from .cache import LRUCache
 from .indexer import Indexer, PrecomputeReport
 from .schemes import DESIGN_MAPPING, DESIGN_SPATIAL
@@ -140,12 +141,19 @@ class KyrixBackend:
 
     def handle(self, request: DataRequest) -> DataResponse:
         """Answer one data request (from cache or from the database)."""
-        self.stats.requests += 1
-        self._resolve_layer(request)
-        response = self._service.handle(request)
-        if response.from_cache:
-            self.stats.cache_hits += 1
-        return response
+        with get_tracer().span(
+            "request",
+            canvas=request.canvas_id,
+            granularity=request.granularity,
+            design=request.design,
+        ) as span:
+            self.stats.requests += 1
+            self._resolve_layer(request)
+            response = self._service.handle(request)
+            if response.from_cache:
+                self.stats.cache_hits += 1
+            span.set_attribute("from_cache", response.from_cache)
+            return response
 
     def execute(self, request: DataRequest) -> DataResponse:
         """Run the raw query path, bypassing every cache.
@@ -153,29 +161,34 @@ class KyrixBackend:
         This is the terminal ``handle`` of the backend's serving stack;
         middleware (caching, transport, metrics) composes on top of it.
         """
-        layer_plan = self._resolve_layer(request)
-        timer = Timer()
-        io_checkpoint = self.database.clock.checkpoint()
-        timer.start()
-        if request.granularity == "tile":
-            objects, queries = self._fetch_tile(request, layer_plan)
-        elif request.granularity == "box":
-            objects, queries = self._fetch_box(request, layer_plan)
-        else:
-            raise FetchError(f"unknown granularity {request.granularity!r}")
-        query_ms = timer.stop() + self.database.clock.since(io_checkpoint)
+        with get_tracer().span(
+            "execute", design=request.design, granularity=request.granularity
+        ) as span:
+            layer_plan = self._resolve_layer(request)
+            timer = Timer()
+            io_checkpoint = self.database.clock.checkpoint()
+            timer.start()
+            if request.granularity == "tile":
+                objects, queries = self._fetch_tile(request, layer_plan)
+            elif request.granularity == "box":
+                objects, queries = self._fetch_box(request, layer_plan)
+            else:
+                raise FetchError(f"unknown granularity {request.granularity!r}")
+            query_ms = timer.stop() + self.database.clock.since(io_checkpoint)
 
-        response = DataResponse(
-            request=request,
-            objects=objects,
-            query_ms=query_ms,
-            from_cache=False,
-            queries_issued=queries,
-        )
-        self.stats.queries_issued += queries
-        self.stats.objects_returned += len(objects)
-        self.stats.total_query_ms += query_ms
-        return response
+            response = DataResponse(
+                request=request,
+                objects=objects,
+                query_ms=query_ms,
+                from_cache=False,
+                queries_issued=queries,
+            )
+            self.stats.queries_issued += queries
+            self.stats.objects_returned += len(objects)
+            self.stats.total_query_ms += query_ms
+            span.set_attribute("queries", queries)
+            span.set_attribute("objects", len(objects))
+            return response
 
     def warm(self, request: DataRequest) -> None:
         """Execute a request purely to populate the backend cache (prefetch)."""

@@ -10,7 +10,9 @@ full middleware stack from :func:`repro.serving.build_service`:
 * ``GET  /canvas/<canvas_id>``          — canvas size and layer summary,
 * ``GET  /tile``                        — one static tile of one layer,
 * ``GET  /dbox``                        — one dynamic box of one layer,
-* ``GET  /stats``                       — backend counters.
+* ``GET  /stats``                       — backend counters,
+* ``GET  /metrics``                     — Prometheus-text span histograms,
+* ``GET  /trace/<trace_id>``            — one finished trace as JSON.
 
 Flask is an optional dependency: importing this module without Flask
 installed raises a clear error only when :func:`create_app` is called, so
@@ -25,10 +27,40 @@ from typing import TYPE_CHECKING, Any
 
 from ..errors import KyrixError, ServerError
 from ..net.protocol import DataRequest
+from ..telemetry import get_registry, get_tracer
 from .schemes import DESIGN_MAPPING, DESIGN_SPATIAL
 
 if TYPE_CHECKING:
     from ..serving.base import DataService
+
+#: How deep :func:`_stats_payload` follows nested stats objects before
+#: falling back to ``str`` (guards against accidental reference cycles).
+_STATS_MAX_DEPTH = 8
+
+
+def _stats_payload(value: Any, depth: int = 0) -> Any:
+    """Recursively turn a stats object into JSON-encodable data.
+
+    Services expose heterogeneous stats: dataclasses (``BackendStats``),
+    objects with a ``snapshot()`` method (``ClusterStats``, middleware
+    counters), plain dicts/lists, and scalars — often *nested* (a cluster's
+    snapshot holds per-shard stats objects).  Each level is resolved with
+    the same rules, so every topology's ``/stats`` serves real JSON instead
+    of ``str()`` debris.
+    """
+    if depth >= _STATS_MAX_DEPTH:
+        return str(value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return _stats_payload(asdict(value), depth + 1)
+    if hasattr(value, "snapshot"):
+        return _stats_payload(value.snapshot(), depth + 1)
+    if isinstance(value, dict):
+        return {str(key): _stats_payload(item, depth + 1) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_stats_payload(item, depth + 1) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
 
 
 def create_app(backend: "DataService"):
@@ -68,20 +100,27 @@ def create_app(backend: "DataService"):
 
     @app.get("/stats")
     def stats():
-        # Services expose heterogeneous stats objects (BackendStats,
-        # ClusterStats, middleware counters); serialise whatever this one
-        # carries rather than assuming a single backend.
-        stats_obj = backend.stats
-        if is_dataclass(stats_obj):
-            payload: dict[str, Any] = asdict(stats_obj)
-        elif hasattr(stats_obj, "snapshot"):
-            payload = dict(stats_obj.snapshot())
-        else:
-            payload = {"stats": str(stats_obj)}
+        payload = _stats_payload(backend.stats)
+        if not isinstance(payload, dict):
+            payload = {"stats": payload}
         cache = getattr(backend, "cache", None)
         if cache is not None:
             payload["cache_hit_rate"] = cache.stats.hit_rate()
         return jsonify(payload)
+
+    @app.get("/metrics")
+    def metrics():
+        body = get_registry().render_prometheus()
+        return app.response_class(
+            body, mimetype="text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    @app.get("/trace/<trace_id>")
+    def trace(trace_id: str):
+        record = get_tracer().get_trace(trace_id)
+        if record is None:
+            return jsonify({"error": f"no finished trace {trace_id!r}"}), 404
+        return jsonify(record)
 
     def _tile_params(args: Any) -> DataRequest:
         design = args.get("design", DESIGN_SPATIAL)

@@ -46,6 +46,7 @@ def build_service(
     replica_policy: str | None = None,
     worker_mode: str | None = None,
     rebalance: bool | None = None,
+    telemetry: bool | None = None,
     metrics: bool = False,
 ) -> "DataService":
     """Build the configured serving stack and return its outermost service.
@@ -87,6 +88,12 @@ def build_service(
         ``unwrap(service, ClusterRouter).cluster.rebalancer``) ready to
         migrate the shard set online from observed load skew.  Only
         meaningful for sharded stacks.
+    telemetry:
+        Per-build override of ``config.telemetry.enabled``: when true the
+        process-wide :mod:`repro.telemetry` tracer is (re)configured from
+        ``config.telemetry`` and every layer of the built stack opens
+        spans.  For sharded stacks the flag is folded into the effective
+        configuration, so process-mode workers trace too.
     metrics:
         Wrap the stack in a :class:`~repro.serving.middleware.MetricsService`
         recording per-request latency breakdowns.
@@ -120,10 +127,16 @@ def build_service(
             replica_policy=replica_policy,
             worker_mode=worker_mode,
             rebalance=rebalance,
+            telemetry=telemetry,
             tile_sizes=tile_sizes,
         )
         service: "DataService" = cluster.router
     else:
+        if telemetry is not None or config.telemetry.enabled:
+            from ..telemetry import configure as configure_telemetry
+
+            overrides = {} if telemetry is None else {"enabled": telemetry}
+            configure_telemetry(config.telemetry, **overrides)
         service = backend
 
     if metrics:

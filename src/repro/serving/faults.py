@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable
 
 from ..errors import KyrixError
+from ..telemetry import get_tracer
 from .base import DataService, ServiceMiddleware
 
 if TYPE_CHECKING:
@@ -159,6 +160,26 @@ def corrupted_response(request: "DataRequest") -> "DataResponse":
     )
 
 
+def _record_fault_events(rules: list[FaultRule], *, seam: str) -> None:
+    """Stamp each injected fault as an event on the innermost open span.
+
+    Chaos tests can then assert that a failure is *visible in the trace*
+    (a ``fault_injected`` event on the replica attempt or rpc span), not
+    merely inferable from counters.  A no-op when tracing is off.
+    """
+    if not rules:
+        return
+    span = get_tracer().current_span()
+    for rule in rules:
+        span.add_event(
+            "fault_injected",
+            seam=seam,
+            kind=rule.kind,
+            op=rule.op,
+            latency_ms=rule.latency_ms,
+        )
+
+
 class FaultInjectingService(ServiceMiddleware):
     """Applies a :class:`FaultSchedule` to every call into ``inner``.
 
@@ -166,6 +187,8 @@ class FaultInjectingService(ServiceMiddleware):
     replica is slow whether or not it would have answered); error faults
     then raise without touching ``inner`` at all (a dead replica does no
     work); corruption faults let the call run and replace the result.
+    Every injected fault is additionally recorded as a ``fault_injected``
+    event on the innermost open span, so traces show the failure.
     """
 
     def __init__(
@@ -180,6 +203,7 @@ class FaultInjectingService(ServiceMiddleware):
         self.clock = clock
 
     def _apply_pre(self, rules: list[FaultRule]) -> None:
+        _record_fault_events(rules, seam="service")
         for rule in rules:
             if rule.kind == "latency" and self.clock is not None:
                 self.clock.advance(rule.latency_ms)
@@ -230,6 +254,7 @@ class FaultInjectingTransport:
 
     def roundtrip(self, payload: str) -> str:
         rules = self.schedule.consult("roundtrip")
+        _record_fault_events(rules, seam="transport")
         for rule in rules:
             if rule.kind == "latency" and self.clock is not None:
                 self.clock.advance(rule.latency_ms)

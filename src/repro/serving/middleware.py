@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any
 from ..metrics.collector import LatencyBreakdown, MetricsCollector
 from ..metrics.timer import Timer
 from ..server.cache import LRUCache
+from ..telemetry import get_tracer
 from .base import DataService, ServiceMiddleware
 
 if TYPE_CHECKING:
@@ -64,21 +65,24 @@ class CachingService(ServiceMiddleware):
     def handle(self, request: "DataRequest") -> "DataResponse":
         from ..net.protocol import DataResponse
 
-        key = request.cache_key()
-        cached = self.cache.get(key)
-        if cached is not None:
-            return DataResponse(
-                request=request,
-                objects=cached.objects,
-                query_ms=0.0,
-                from_cache=True,
-                queries_issued=0,
-                shard_ms=dict(cached.shard_ms),
-            )
-        response = self.inner.handle(request)
-        if not response.from_cache and not response.coalesced:
-            self.cache.put(key, response)
-        return response
+        with get_tracer().span("cache") as span:
+            key = request.cache_key()
+            cached = self.cache.get(key)
+            if cached is not None:
+                span.set_attribute("hit", True)
+                return DataResponse(
+                    request=request,
+                    objects=cached.objects,
+                    query_ms=0.0,
+                    from_cache=True,
+                    queries_issued=0,
+                    shard_ms=dict(cached.shard_ms),
+                )
+            span.set_attribute("hit", False)
+            response = self.inner.handle(request)
+            if not response.from_cache and not response.coalesced:
+                self.cache.put(key, response)
+            return response
 
     def warm(self, request: "DataRequest") -> None:
         if self.cache.peek(request.cache_key()) is None:
@@ -111,20 +115,22 @@ class CoalescingService(ServiceMiddleware):
     def handle(self, request: "DataRequest") -> "DataResponse":
         from ..net.protocol import DataResponse
 
-        response, follower = self.coalescer.coalesce(
-            request.cache_key(), lambda: self.inner.handle(request)
-        )
-        if not follower:
-            return response
-        return DataResponse(
-            request=request,
-            objects=response.objects,
-            query_ms=response.query_ms,
-            from_cache=False,
-            queries_issued=0,
-            shard_ms=dict(response.shard_ms),
-            coalesced=True,
-        )
+        with get_tracer().span("coalesce") as span:
+            response, follower = self.coalescer.coalesce(
+                request.cache_key(), lambda: self.inner.handle(request)
+            )
+            span.set_attribute("role", "follower" if follower else "leader")
+            if not follower:
+                return response
+            return DataResponse(
+                request=request,
+                objects=response.objects,
+                query_ms=response.query_ms,
+                from_cache=False,
+                queries_issued=0,
+                shard_ms=dict(response.shard_ms),
+                coalesced=True,
+            )
 
 
 class ServiceMetrics:

@@ -56,6 +56,7 @@ from ..errors import (
     WorkerConnectionError,
 )
 from ..metrics.collector import MetricsCollector
+from ..telemetry import get_tracer
 
 if TYPE_CHECKING:
     from ..compiler.plan import CompiledApplication
@@ -343,16 +344,23 @@ class ReplicaService:
             tried.add(index)
             start_ms = self.clock.now_ms
             try:
-                result = call(self._replicas[index])
-                if (
-                    self.timeout_ms is not None
-                    and self.clock.now_ms - start_ms > self.timeout_ms
-                ):
-                    raise ReplicaTimeoutError(
-                        f"replica {index} took "
-                        f"{self.clock.now_ms - start_ms:.1f} ms "
-                        f"(> {self.timeout_ms} ms budget)"
-                    )
+                with get_tracer().span(
+                    "replica_attempt",
+                    replica=index,
+                    attempt=attempts,
+                    breaker_open=self.breaker_open(index),
+                ) as span:
+                    result = call(self._replicas[index])
+                    if (
+                        self.timeout_ms is not None
+                        and self.clock.now_ms - start_ms > self.timeout_ms
+                    ):
+                        raise ReplicaTimeoutError(
+                            f"replica {index} took "
+                            f"{self.clock.now_ms - start_ms:.1f} ms "
+                            f"(> {self.timeout_ms} ms budget)"
+                        )
+                    span.set_attribute("ok", True)
             except Exception as error:  # noqa: BLE001 - failover boundary
                 causes[index] = error
                 self._finish_attempt(

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 from ..errors import FetchError, KyrixError
 from ..net.protocol import DataRequest, DataResponse
+from ..telemetry import get_tracer
 from .base import DataService, ServiceMiddleware
 
 if TYPE_CHECKING:
@@ -102,9 +103,19 @@ class LocalTransport:
             params = envelope.get("params", {})
             if op == "handle":
                 # Hot path: one decode (the envelope) and one encode (the
-                # response), spliced into the reply frame verbatim.
-                request = DataRequest(**params["request"])
-                return splice_reply(self.service.handle(request).to_json())
+                # response), spliced into the reply frame verbatim.  A
+                # trace context riding the request is lifted off before the
+                # request is rebuilt, so server-side caches and responses
+                # stay identical whether or not the caller traces.
+                raw_request = dict(params["request"])
+                context = raw_request.pop("trace", None)
+                request = DataRequest(**raw_request)
+                tracer = get_tracer()
+                with tracer.remote_trace(context) as collected:
+                    response = self.service.handle(request)
+                if collected is not None and collected.spans:
+                    return splice_reply(response.to_json(trace=collected.spans))
+                return splice_reply(response.to_json())
             return encode_reply(self._dispatch(op, params))
         except Exception as error:  # noqa: BLE001 - faults must cross the wire
             return encode_error(error)
@@ -179,8 +190,24 @@ class RemoteBackendStub:
     # -- DataService ------------------------------------------------------------------
 
     def handle(self, request: DataRequest) -> DataResponse:
-        result = self._call("handle", {"request": request.to_dict()})
-        return DataResponse.from_dict(result)
+        tracer = get_tracer()
+        with tracer.span("rpc", op="handle") as span:
+            params = {"request": request.to_dict()}
+            context = tracer.current_context()
+            if context is not None:
+                # Stamp the trace context onto the wire form only — the
+                # caller's request object (and any cache keyed on it) never
+                # sees it.
+                params["request"]["trace"] = context
+            result = self._call("handle", params)
+            remote_spans = result.pop("trace", None)
+            if remote_spans:
+                # Spans recorded on the far side come home inside the
+                # reply; draining them here keeps the decoded response
+                # byte-identical to an untraced one.
+                tracer.ingest(remote_spans)
+                span.set_attribute("remote_spans", len(remote_spans))
+            return DataResponse.from_dict(result)
 
     def warm(self, request: DataRequest) -> None:
         self._call("warm", {"request": request.to_dict()})

@@ -198,8 +198,13 @@ def build_shard_spec(
 def _build_worker_stack(spec: ShardSpec) -> tuple[LocalTransport, "Database"]:
     """The worker's serving stack: ``LocalTransport ∘ Caching ∘ Serialized``."""
     from ..server.backend import KyrixBackend
+    from ..telemetry import configure as configure_telemetry
 
     config = KyrixConfig.from_dict(spec.config)
+    # The worker process has its own telemetry singletons; configuring
+    # them from the spec makes spans recorded here flow back across the
+    # socket (LocalTransport ships them inside the reply envelope).
+    configure_telemetry(config.telemetry)
     compiled = CompiledApplication.from_dict(spec.plan)
     database = _restore_database(spec.tables, config)
     backend = KyrixBackend(database, compiled, config)

@@ -1,0 +1,150 @@
+"""Pretty-print the slowest traces from a JSONL trace export.
+
+Usage::
+
+    python -m repro.telemetry.dump traces.jsonl [--top 5] [--min-ms 0]
+
+Each input line is one completed trace as exported by the tracer
+(``{"trace_id": ..., "spans": [...]}``).  Traces are ranked by root-span
+duration and rendered as an indented tree with per-span durations,
+attributes and events — the "where did my 500 ms go" view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Iterable, TextIO
+
+
+def load_traces(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL export, skipping blank or malformed lines."""
+    traces: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                trace = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(trace, dict) and isinstance(trace.get("spans"), list):
+                traces.append(trace)
+    return traces
+
+
+def root_spans(trace: dict[str, Any]) -> list[dict[str, Any]]:
+    """Spans with no parent inside this trace (usually exactly one)."""
+    known = {span.get("span_id") for span in trace["spans"]}
+    return [
+        span for span in trace["spans"] if span.get("parent_id") not in known
+    ]
+
+
+def trace_duration_ms(trace: dict[str, Any]) -> float:
+    roots = root_spans(trace)
+    if not roots:
+        return 0.0
+    return max(float(span.get("duration_ms", 0.0)) for span in roots)
+
+
+def _format_attributes(span: dict[str, Any]) -> str:
+    attributes = span.get("attributes") or {}
+    if not attributes:
+        return ""
+    inner = ", ".join(f"{key}={value!r}" for key, value in sorted(attributes.items()))
+    return f"  [{inner}]"
+
+
+def format_trace(trace: dict[str, Any]) -> str:
+    """Render one trace as an indented span tree, children by start time."""
+    spans = trace["spans"]
+    children: dict[Any, list[dict[str, Any]]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda span: float(span.get("start_unix_ms", 0.0)))
+
+    lines = [f"trace {trace.get('trace_id', '?')}  ({len(spans)} spans)"]
+    known = {span.get("span_id") for span in spans}
+
+    def walk(span: dict[str, Any], depth: int) -> None:
+        duration = float(span.get("duration_ms", 0.0))
+        lines.append(
+            f"{'  ' * depth}- {span.get('name', '?'):<16} "
+            f"{duration:9.3f} ms{_format_attributes(span)}"
+        )
+        for event in span.get("events") or []:
+            detail = {
+                key: value
+                for key, value in event.items()
+                if key not in ("name", "offset_ms")
+            }
+            extra = f" {detail}" if detail else ""
+            lines.append(
+                f"{'  ' * (depth + 1)}* event {event.get('name', '?')} "
+                f"@ {event.get('offset_ms', 0)} ms{extra}"
+            )
+        for child in children.get(span.get("span_id"), []):
+            walk(child, depth + 1)
+
+    for root in sorted(
+        (span for span in spans if span.get("parent_id") not in known),
+        key=lambda span: float(span.get("start_unix_ms", 0.0)),
+    ):
+        walk(root, 1)
+    return "\n".join(lines)
+
+
+def dump_slowest(
+    traces: Iterable[dict[str, Any]],
+    *,
+    top: int = 5,
+    min_ms: float = 0.0,
+    stream: TextIO | None = None,
+) -> int:
+    # Resolve the stream per call, not per import: tests (and anything else
+    # redirecting stdout) must see the output.
+    stream = stream if stream is not None else sys.stdout
+    ranked = sorted(traces, key=trace_duration_ms, reverse=True)
+    shown = 0
+    for trace in ranked:
+        duration = trace_duration_ms(trace)
+        if duration < min_ms:
+            break
+        print(f"\n#{shown + 1}  {duration:.3f} ms", file=stream)
+        print(format_trace(trace), file=stream)
+        shown += 1
+        if shown >= top:
+            break
+    return shown
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.dump", description=__doc__
+    )
+    parser.add_argument("path", help="JSONL trace export (tracer export_path)")
+    parser.add_argument(
+        "--top", type=int, default=5, help="show the N slowest traces"
+    )
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.0,
+        help="skip traces whose root span is faster than this",
+    )
+    args = parser.parse_args(argv)
+    traces = load_traces(args.path)
+    if not traces:
+        print(f"no traces found in {args.path}", file=sys.stderr)
+        return 1
+    print(f"{len(traces)} traces loaded from {args.path}")
+    dump_slowest(traces, top=args.top, min_ms=args.min_ms)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

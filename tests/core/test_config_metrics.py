@@ -157,11 +157,26 @@ class TestMetricsCollector:
             collector.summary()
 
     def test_summarize_percentiles(self):
+        # Nearest-rank percentiles: for samples 1..100 the p-th percentile
+        # is exactly the sample at rank ceil(p * 100).
         summary = summarize(range(1, 101))
-        assert summary.median == pytest.approx(50.5)
-        assert summary.p95 == pytest.approx(95.05)
+        assert summary.median == 50
+        assert summary.p95 == 95
+        assert summary.p99 == 99
+        assert summary.p999 == 100
         assert summary.within_budget(500.0)
         assert not summary.within_budget(50.0)
+
+    def test_percentile_is_nearest_rank_on_small_n(self):
+        from repro.metrics.collector import percentile
+
+        data = [10.0, 20.0, 30.0]
+        assert percentile(data, 0.5) == 20.0
+        assert percentile(data, 0.95) == 30.0
+        assert percentile(data, 0.0) == 10.0
+        assert percentile([7.0], 0.999) == 7.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
 
     def test_summarize_empty_raises(self):
         with pytest.raises(ValueError):

@@ -73,3 +73,107 @@ class TestHTTPServer:
         second = client.get(url).get_json()
         assert first["from_cache"] is False
         assert second["from_cache"] is True
+
+
+class TestStatsSerialization:
+    def test_cluster_router_stats_serialize_to_real_json(self, dots_stack):
+        from repro.cluster import build_cluster
+
+        cluster = build_cluster(dots_stack.backend, shard_count=2)
+        app = create_app(cluster.router)
+        app.config["TESTING"] = True
+        try:
+            client = app.test_client()
+            client.get("/dbox?canvas=dots&layer=0&xmin=0&ymin=0&xmax=256&ymax=256")
+            payload = client.get("/stats").get_json()
+        finally:
+            cluster.close()
+        assert payload["requests"] == 1
+        assert payload["scatter_gathers"] == 1
+        # Nested dicts survive as dicts (keys become strings in JSON).
+        assert isinstance(payload["per_shard_requests"], dict)
+        assert isinstance(payload["fanout"], dict)
+
+    def test_nested_non_dataclass_stats_are_recursed(self, dots_stack):
+        # A stats object mixing every shape the serving layers produce:
+        # snapshot() methods, dataclasses, dicts, lists and scalars.
+        from dataclasses import dataclass
+        from types import SimpleNamespace
+
+        @dataclass
+        class Inner:
+            hits: int = 3
+
+        class Snapshotting:
+            def snapshot(self):
+                return {"inner": Inner(), "values": [1, 2.5, None], "label": "x"}
+
+        class Stats:
+            def snapshot(self):
+                return {"nested": Snapshotting(), "requests": 7}
+
+        service = SimpleNamespace(
+            compiled=dots_stack.backend.compiled, stats=Stats()
+        )
+        app = create_app(service)
+        app.config["TESTING"] = True
+        payload = app.test_client().get("/stats").get_json()
+        assert payload["requests"] == 7
+        assert payload["nested"]["inner"]["hits"] == 3
+        assert payload["nested"]["values"] == [1, 2.5, None]
+        assert payload["nested"]["label"] == "x"
+
+
+class TestTelemetryEndpoints:
+    @pytest.fixture()
+    def traced_client(self, dots_stack):
+        from repro.telemetry import configure
+
+        configure(enabled=True)
+        app = create_app(dots_stack.backend)
+        app.config["TESTING"] = True
+        yield app.test_client()
+        configure(enabled=False)
+
+    def test_metrics_endpoint_serves_prometheus_text(self, traced_client):
+        # An unusual box: the session-scoped stack's cache must miss so the
+        # worker-side execute span is actually recorded.
+        traced_client.get(
+            "/dbox?canvas=dots&layer=0&xmin=3&ymin=9&xmax=217&ymax=221"
+        )
+        response = traced_client.get("/metrics")
+        assert response.status_code == 200
+        assert response.content_type.startswith("text/plain")
+        body = response.get_data(as_text=True)
+        assert "# TYPE kyrix_span_duration_ms histogram" in body
+        assert 'kyrix_span_duration_ms_bucket{span="request",le="+Inf"} 1' in body
+        assert 'kyrix_span_duration_ms_count{span="execute"} 1' in body
+        assert 'quantile="p99"' in body
+
+    def test_trace_endpoint_returns_one_trace(self, traced_client):
+        from repro.telemetry import get_tracer
+
+        traced_client.get(
+            "/dbox?canvas=dots&layer=0&xmin=11&ymin=13&xmax=301&ymax=307"
+        )
+        trace_id = get_tracer().last_trace()["trace_id"]
+        response = traced_client.get(f"/trace/{trace_id}")
+        assert response.status_code == 200
+        payload = response.get_json()
+        assert payload["trace_id"] == trace_id
+        assert {span["name"] for span in payload["spans"]} >= {"request", "execute"}
+
+    def test_trace_endpoint_unknown_id_is_404(self, traced_client):
+        response = traced_client.get("/trace/deadbeefdeadbeef")
+        assert response.status_code == 404
+        assert "error" in response.get_json()
+
+    def test_metrics_endpoint_works_untraced(self, client):
+        from repro.telemetry import configure
+
+        configure(enabled=False)
+        response = client.get("/metrics")
+        assert response.status_code == 200
+        assert "# TYPE kyrix_span_duration_ms histogram" in response.get_data(
+            as_text=True
+        )

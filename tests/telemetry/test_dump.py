@@ -1,0 +1,114 @@
+"""Tests for the ``python -m repro.telemetry.dump`` trace viewer."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.telemetry.dump import (
+    dump_slowest,
+    format_trace,
+    load_traces,
+    main,
+    root_spans,
+    trace_duration_ms,
+)
+
+
+def _span(name, span_id, parent_id=None, duration_ms=1.0, start=0.0, **attrs):
+    return {
+        "name": name,
+        "trace_id": "t1",
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start_unix_ms": start,
+        "duration_ms": duration_ms,
+        "attributes": attrs,
+        "events": [],
+    }
+
+
+def _trace(trace_id, root_ms):
+    return {
+        "trace_id": trace_id,
+        "spans": [
+            _span("request", "a", duration_ms=root_ms),
+            _span("scatter", "b", parent_id="a", duration_ms=root_ms * 0.9,
+                  start=1.0),
+            _span("shard", "c", parent_id="b", duration_ms=root_ms * 0.8,
+                  start=2.0, shard_id=0),
+        ],
+    }
+
+
+class TestLoading:
+    def test_load_skips_blank_and_malformed_lines(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text(
+            json.dumps(_trace("t1", 5.0))
+            + "\n\nnot json at all\n"
+            + json.dumps({"no": "spans"})
+            + "\n"
+            + json.dumps(_trace("t2", 1.0))
+            + "\n"
+        )
+        traces = load_traces(str(path))
+        assert [t["trace_id"] for t in traces] == ["t1", "t2"]
+
+    def test_root_spans_and_duration(self):
+        trace = _trace("t1", 7.5)
+        roots = root_spans(trace)
+        assert [s["name"] for s in roots] == ["request"]
+        assert trace_duration_ms(trace) == 7.5
+
+
+class TestRendering:
+    def test_format_trace_indents_children_under_parents(self):
+        text = format_trace(_trace("t1", 5.0))
+        lines = text.splitlines()
+        assert lines[0].startswith("trace t1")
+        request_line = next(l for l in lines if "request" in l)
+        scatter_line = next(l for l in lines if "scatter" in l)
+        shard_line = next(l for l in lines if "shard" in l)
+        indent = lambda line: len(line) - len(line.lstrip())
+        assert indent(request_line) < indent(scatter_line) < indent(shard_line)
+        assert "shard_id=0" in shard_line
+
+    def test_events_render_under_their_span(self):
+        trace = _trace("t1", 5.0)
+        trace["spans"][2]["events"] = [
+            {"name": "fault_injected", "offset_ms": 0.5, "kind": "error"}
+        ]
+        text = format_trace(trace)
+        assert "* event fault_injected @ 0.5 ms" in text
+
+    def test_dump_slowest_ranks_by_root_duration(self):
+        stream = io.StringIO()
+        traces = [_trace("fast", 1.0), _trace("slow", 9.0), _trace("mid", 5.0)]
+        shown = dump_slowest(traces, top=2, stream=stream)
+        output = stream.getvalue()
+        assert shown == 2
+        assert output.index("trace slow") < output.index("trace mid")
+        assert "trace fast" not in output
+
+    def test_dump_slowest_min_ms_filters(self):
+        stream = io.StringIO()
+        shown = dump_slowest(
+            [_trace("fast", 1.0), _trace("slow", 9.0)], min_ms=5.0, stream=stream
+        )
+        assert shown == 1
+
+
+class TestCLI:
+    def test_main_reads_an_export(self, tmp_path, capsys):
+        path = tmp_path / "traces.jsonl"
+        path.write_text(json.dumps(_trace("t1", 5.0)) + "\n")
+        assert main([str(path), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 traces loaded" in out
+        assert "trace t1" in out
+
+    def test_main_fails_on_an_empty_export(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main([str(path)]) == 1
