@@ -14,16 +14,15 @@ from usmap_crime import build_usmap_application
 from repro.client import KyrixFrontend
 from repro.compiler import compile_application
 from repro.datagen import USMapSpec
-from repro.server import KyrixBackend, dbox50_scheme
+from repro.server import dbox50_scheme
+from repro.serving import build_service
 
 
 @pytest.fixture(scope="module")
 def usmap_backend():
     app, database = build_usmap_application(USMapSpec())
     compiled = compile_application(app)
-    backend = KyrixBackend(database, compiled, app.config)
-    backend.precompute()
-    return backend
+    return build_service(app.config, database=database, compiled=compiled)
 
 
 def _fresh_frontend(backend) -> KyrixFrontend:

@@ -33,6 +33,7 @@ from repro.core import (
 )
 from repro.datagen import EEGSpec, load_eeg
 from repro.server import KyrixBackend, dbox_scheme
+from repro.serving import build_service, unwrap
 from repro.storage import Database
 
 #: Vertical lane height used by the epoch (spectral) canvas.
@@ -144,7 +145,13 @@ def main() -> dict[str, float]:
     spec = EEGSpec(channels=4, sample_rate_hz=64.0, duration_s=600.0)
     app, database = build_eeg_application(spec)
     compiled = compile_application(app)
-    backend = KyrixBackend(database, compiled, app.config)
+    # precompute=False: the factory would precompute silently; this example
+    # wants the per-layer placement reports to print, so it runs the pass
+    # itself on the built backend.
+    service = build_service(
+        app.config, database=database, compiled=compiled, precompute=False
+    )
+    backend = unwrap(service, KyrixBackend)
     print("precomputing placement tables for both canvases ...")
     reports = backend.precompute()
     for report in reports:

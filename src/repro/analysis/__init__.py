@@ -1,0 +1,45 @@
+"""repolint: static enforcement of the serving stack's invariants.
+
+The ROADMAP states the laws of the codebase — one factory for serving
+endpoints, one sanctioned fault seam, lock-guarded shared state, monotonic
+timing through the tracer, wire-faithful protocol dataclasses.  Tests only
+exercise the happy paths of those laws; this package checks them *at check
+time*, over the whole tree, on every run.
+
+Two halves:
+
+* the static half (:mod:`repro.analysis.core` + :mod:`repro.analysis.rules`):
+  an AST-rule framework with inline ``# repolint: disable=<rule>``
+  suppressions, a checked-in ``baseline.json`` for grandfathered findings,
+  and a ``python -m repro.analysis`` CLI that exits non-zero on any
+  non-baselined finding;
+* the runtime half (:mod:`repro.analysis.lockwatch`): an instrumented lock
+  wrapper that builds the global lock-acquisition-order graph while the
+  concurrency hammers run, failing the suite on cycles (potential
+  deadlocks) and on flagged unguarded mutations.
+
+Zero dependencies beyond the standard library, by design: the linter must
+run anywhere the tests run.
+"""
+
+from .core import (
+    Checker,
+    Finding,
+    ModuleSource,
+    all_rules,
+    iter_source_files,
+    load_baseline,
+    register,
+    run_analysis,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "ModuleSource",
+    "all_rules",
+    "iter_source_files",
+    "load_baseline",
+    "register",
+    "run_analysis",
+]

@@ -1,0 +1,116 @@
+"""``python -m repro.analysis`` — lint the tree against the rule pack.
+
+Exit status: 0 when every finding is suppressed or baselined, 1 when any
+fresh finding remains, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core import BASELINE_PATH, all_rules, find_repo_root, run_analysis
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static checks for the serving stack's ROADMAP invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="specific files to check (default: the whole tree)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: auto-detected from cwd / package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full result as JSON on stdout (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the registered rule ids and exit",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="selected_rules",
+        metavar="RULE",
+        help="run only this rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{BASELINE_PATH.as_posix()})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report grandfathered findings as fresh",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        for rule_id, checker in all_rules().items():
+            print(f"{rule_id:18s} {checker.description}")
+        return 0
+
+    try:
+        root = (args.root or find_repo_root()).resolve()
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    baseline_path = args.baseline
+    if args.no_baseline:
+        baseline_path = Path("/dev/null")
+    files = None
+    if args.paths:
+        files = [path.resolve() for path in args.paths]
+        for path in files:
+            if not path.is_file():
+                parser.error(f"not a file: {path}")
+
+    try:
+        result = run_analysis(
+            root,
+            rules=args.selected_rules,
+            baseline_path=baseline_path,
+            files=files,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        for finding in result.fresh:
+            print(finding.render())
+        summary = (
+            f"{result.files_checked} files checked: "
+            f"{len(result.fresh)} finding(s), "
+            f"{len(result.baselined)} baselined, "
+            f"{result.suppressed_count} suppressed inline"
+        )
+        if result.stale_baseline:
+            summary += f", {len(result.stale_baseline)} stale baseline entr(y/ies)"
+        print(summary)
+        for entry in result.stale_baseline:
+            print(
+                "stale baseline entry (no longer fires): "
+                f"[{entry['rule']}] {entry['path']}: {entry['message']}"
+            )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,13 @@ class DotsStack:
     @property
     def serving(self) -> "DataService":
         """Deprecated alias of :attr:`service` (kept for one release)."""
+        import warnings
+
+        warnings.warn(
+            "DotsStack.serving is deprecated; use DotsStack.service",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.service if self.service is not None else self.backend
 
 
@@ -100,6 +107,22 @@ def default_config(
         viewport_width=viewport,
         viewport_height=viewport,
     )
+
+
+def _built_source_backend(service: "DataService") -> KyrixBackend:
+    """The full (unsharded) source backend behind a factory-built stack.
+
+    For a non-cluster configuration the factory's outermost service *is*
+    the backend; for a sharded stack the router's cluster handle keeps the
+    source backend the shards were split from.
+    """
+    from ..cluster import ClusterRouter
+    from ..serving import unwrap
+
+    router = unwrap(service, ClusterRouter)
+    if router is not None and router.cluster is not None:
+        return router.cluster.source
+    return unwrap(service, KyrixBackend)
 
 
 def build_eeg_application(spec: EEGSpec, config: KyrixConfig | None = None) -> Application:
@@ -155,8 +178,11 @@ def build_eeg_backend(
     load_eeg(database, spec)
     application = build_eeg_application(spec, config)
     compiled = compile_application(application)
-    backend = KyrixBackend(database, compiled, config)
-    backend.precompute(tile_sizes=tile_sizes)
+    from ..serving import build_service
+
+    backend = _built_source_backend(
+        build_service(config, database=database, compiled=compiled, tile_sizes=tile_sizes)
+    )
     return EEGStack(
         spec=spec,
         database=database,
@@ -240,18 +266,20 @@ def build_dots_backend(
         transform = application.canvas("dots").transforms["dots_transform"]
         transform.separable = False
     compiled = compile_application(application)
-    backend = KyrixBackend(database, compiled, config)
-    backend.precompute(tile_sizes=tile_sizes)
 
-    # One factory assembles the serving stack (sharding it per
-    # ``config.cluster``); the cluster handle rides on the router so
-    # benchmarks can keep reading shard-level statistics.
+    # One factory assembles the whole serving stack (constructing and
+    # precomputing the backend, sharding it per ``config.cluster``); the
+    # cluster handle rides on the router so benchmarks can keep reading
+    # shard-level statistics.
     from ..cluster import ClusterRouter
     from ..serving import build_service, unwrap
 
-    service = build_service(config, backend=backend, tile_sizes=tile_sizes)
+    service = build_service(
+        config, database=database, compiled=compiled, tile_sizes=tile_sizes
+    )
     router = unwrap(service, ClusterRouter)
     cluster = router.cluster if router is not None else None
+    backend = cluster.source if cluster is not None else unwrap(service, KyrixBackend)
     return DotsStack(
         spec=dataset,
         database=database,

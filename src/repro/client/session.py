@@ -81,6 +81,14 @@ class ExplorationSession:
         render: bool = False,
     ) -> "ExplorationSession":
         """Deprecated alias of :meth:`for_service` (kept for one release)."""
+        import warnings
+
+        warnings.warn(
+            "ExplorationSession.from_backend is deprecated; use "
+            "ExplorationSession.for_service",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return cls.for_service(
             backend, scheme, config=config, prefetcher=prefetcher, render=render
         )

@@ -346,6 +346,11 @@ def build_cluster(
     # service stack (e.g. `serving.build_service` output) can reach shard
     # bookkeeping without rebuilding a second ShardedCluster.
     router.cluster = cluster
+    # A router assembled here is a sanctioned endpoint, whether reached
+    # through build_service or through build_cluster directly.
+    from ..serving.factory import mark_factory_built
+
+    mark_factory_built(router)
     if cluster_config.rebalance_enabled:
         # Local import: the rebalancer composes builder pieces, so a
         # top-level import would be circular.

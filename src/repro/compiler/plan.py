@@ -150,7 +150,7 @@ class CompiledApplication:
             plans.extend(canvas.layers)
         return plans
 
-    def to_dict(self) -> dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:  # repolint: disable=protocol-drift
         """The plan as plain JSON-serialisable data.
 
         The attached ``spec`` (live :class:`Application` with transform

@@ -93,4 +93,5 @@ class VirtualClock:
         return self._now_ms - checkpoint
 
     def reset(self) -> None:
-        self._now_ms = 0.0
+        with self._lock:
+            self._now_ms = 0.0

@@ -220,7 +220,8 @@ class SocketTransport:
         self._sock: socket.socket | None = None
         self._closed = False
 
-    def _connect(self) -> socket.socket:
+    def _connect(self) -> socket.socket:  # repolint: disable=lock-discipline
+        # Caller (roundtrip/close) holds self._lock.
         if self._sock is None:
             if self._closed:
                 raise WorkerConnectionError(

@@ -124,7 +124,7 @@ class LRUCache(Generic[ValueT]):
             self.stats.inserts += 1
             self._evict_to_capacity()
 
-    def _evict_to_capacity(self) -> None:
+    def _evict_to_capacity(self) -> None:  # repolint: disable=lock-discipline
         # Caller holds the lock.
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)

@@ -32,7 +32,7 @@ Quickstart::
 """
 
 from .base import DataService, ServiceMiddleware, stack_layers, unwrap
-from .factory import build_service
+from .factory import build_service, is_factory_built, mark_factory_built
 from .faults import (
     FaultInjectingService,
     FaultInjectingTransport,
@@ -91,6 +91,8 @@ __all__ = [
     "WorkerHandle",
     "WorkerPool",
     "build_service",
+    "is_factory_built",
+    "mark_factory_built",
     "build_shard_spec",
     "database_checksum",
     "fault_replica",

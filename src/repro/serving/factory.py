@@ -17,6 +17,7 @@ working for one release; building blocks stay public).
 
 from __future__ import annotations
 
+import weakref
 from typing import TYPE_CHECKING
 
 from ..errors import KyrixError
@@ -27,6 +28,29 @@ if TYPE_CHECKING:
     from ..server.backend import KyrixBackend
     from ..storage.database import Database
     from .base import DataService
+
+#: Services this factory built (or that are reachable inside one it built).
+#: Frontends consult this to tell a sanctioned bare endpoint (a
+#: ``KyrixBackend`` the factory returned for a non-cluster config) from a
+#: hand-constructed one, which is deprecated as a frontend endpoint.
+_FACTORY_BUILT: "weakref.WeakSet[object]" = weakref.WeakSet()
+
+
+def mark_factory_built(service: "DataService") -> "DataService":
+    """Record ``service`` as a sanctioned :func:`build_service` product."""
+    try:
+        _FACTORY_BUILT.add(service)
+    except TypeError:  # non-weakrefable duck types stay unmarked
+        pass
+    return service
+
+
+def is_factory_built(service: object) -> bool:
+    """True when ``service`` came out of :func:`build_service`."""
+    try:
+        return service in _FACTORY_BUILT
+    except TypeError:
+        return False
 
 
 def build_service(
@@ -110,6 +134,9 @@ def build_service(
             precompute = True
     if precompute:
         backend.precompute(tile_sizes=tile_sizes)
+    # The backend the factory constructed (or adopted and prepared) is a
+    # sanctioned endpoint even when the returned stack wraps it.
+    mark_factory_built(backend)
     config = config or backend.config
 
     sharded = config.cluster.enabled or shard_count is not None or strategy is not None
@@ -142,5 +169,6 @@ def build_service(
     if metrics:
         from .middleware import MetricsService
 
+        mark_factory_built(service)
         service = MetricsService(service)
-    return service
+    return mark_factory_built(service)

@@ -97,7 +97,9 @@ class Span:
         self.trace_id = trace_id
         self.span_id = _new_id()
         self.parent_id = parent_id
-        self.start_unix_ms = time.time() * 1000.0
+        # Wall-clock epoch timestamp for export alignment, not a duration
+        # (durations come from the perf_counter pair below).
+        self.start_unix_ms = time.time() * 1000.0  # repolint: disable=span-discipline
         self.duration_ms = 0.0
         self.attributes: dict[str, Any] = {}
         self.events: list[dict[str, Any]] = []

@@ -1,0 +1,39 @@
+"""Helpers for the repro.analysis test suite.
+
+Rule fixtures are Python *source strings*, never real files in the tree:
+the linter walks ``tests/`` too, and a checked-in violation fixture would
+flag itself.  ``lint_source`` fabricates a :class:`ModuleSource` at an
+arbitrary virtual path and runs one rule (or all of them) over it.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Finding, ModuleSource, all_rules
+from repro.analysis.core import check_module
+
+
+@pytest.fixture
+def lint_source():
+    def lint(
+        source: str,
+        *,
+        path: str = "src/repro/example.py",
+        rule: str | None = None,
+    ) -> list[Finding]:
+        module = ModuleSource(
+            Path("/virtual") / path, path, text=textwrap.dedent(source)
+        )
+        registry = all_rules()
+        if rule is not None:
+            checkers = [registry[rule]()]
+        else:
+            checkers = [checker() for checker in registry.values()]
+        findings, _ = check_module(module, checkers)
+        return findings
+
+    return lint

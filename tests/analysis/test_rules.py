@@ -1,0 +1,352 @@
+"""Fixture tests for the built-in rule pack: every rule fires on its
+violation and stays silent on the sanctioned pattern."""
+
+from __future__ import annotations
+
+
+def rules_fired(findings):
+    return sorted({finding.rule for finding in findings})
+
+
+class TestFactoryOnly:
+    VIOLATION = """
+        from repro.server.backend import KyrixBackend
+
+        def make():
+            return KyrixBackend(db, compiled, config)
+    """
+
+    def test_fires_outside_sanctioned_zones(self, lint_source):
+        for path in (
+            "src/repro/bench/somewhere.py",
+            "tests/x/test_y.py",
+            "benchmarks/bench_z.py",
+            "examples/demo.py",
+        ):
+            findings = lint_source(self.VIOLATION, path=path, rule="factory-only")
+            assert [f.rule for f in findings] == ["factory-only"], path
+            assert "build_service" in findings[0].message
+
+    def test_fires_on_cluster_router_too(self, lint_source):
+        source = """
+            from repro.cluster.router import ClusterRouter
+            router = ClusterRouter(shards, parts, compiled, config)
+        """
+        findings = lint_source(source, path="src/repro/bench/b.py", rule="factory-only")
+        assert len(findings) == 1
+
+    def test_silent_inside_serving_and_cluster(self, lint_source):
+        for path in ("src/repro/serving/factory.py", "src/repro/cluster/builder.py"):
+            assert lint_source(self.VIOLATION, path=path, rule="factory-only") == []
+
+    def test_silent_on_factory_use_and_bare_references(self, lint_source):
+        source = """
+            from repro.server.backend import KyrixBackend
+            from repro.serving import build_service, unwrap
+
+            def make():
+                service = build_service(config, database=db, compiled=compiled)
+                return unwrap(service, KyrixBackend)  # reference, not a call
+
+            def check(obj):
+                return isinstance(obj, KyrixBackend)
+        """
+        assert lint_source(source, path="src/repro/bench/b.py", rule="factory-only") == []
+
+
+class TestFaultSeam:
+    def test_fires_on_string_monkeypatch_of_internals(self, lint_source):
+        source = """
+            def test_kill(monkeypatch):
+                monkeypatch.setattr("repro.serving.transport.TransportService.handle", boom)
+        """
+        findings = lint_source(source, path="tests/serving/test_x.py", rule="fault-seam")
+        assert rules_fired(findings) == ["fault-seam"]
+        assert "repro.serving.faults" in findings[0].message
+
+    def test_fires_on_object_monkeypatch_of_imported_internals(self, lint_source):
+        source = """
+            from repro.net import socket_transport
+
+            def test_kill(monkeypatch):
+                monkeypatch.setattr(socket_transport, "SocketTransport", Fake)
+        """
+        findings = lint_source(source, path="tests/net/test_x.py", rule="fault-seam")
+        assert len(findings) == 1
+
+    def test_fires_on_mock_patch(self, lint_source):
+        source = """
+            from unittest import mock
+
+            def test_kill():
+                with mock.patch("repro.cluster.router.ClusterRouter.handle"):
+                    pass
+        """
+        findings = lint_source(source, path="tests/cluster/test_x.py", rule="fault-seam")
+        assert len(findings) == 1
+
+    def test_silent_on_the_sanctioned_fault_seam(self, lint_source):
+        source = """
+            from repro.serving import FaultSchedule, fault_replica
+
+            def test_failover(replicated_service):
+                schedule = FaultSchedule()
+                schedule.add(fault_replica(0, after=2))
+        """
+        assert lint_source(source, path="tests/serving/test_x.py", rule="fault-seam") == []
+
+    def test_silent_on_non_internal_patching(self, lint_source):
+        source = """
+            def test_env(monkeypatch):
+                monkeypatch.setenv("REPRO_LOCKWATCH", "1")
+                monkeypatch.setattr("repro.bench.apps.default_config", fake)
+        """
+        assert lint_source(source, path="tests/x/test_y.py", rule="fault-seam") == []
+
+    def test_silent_outside_tests(self, lint_source):
+        source = """
+            def install(monkeypatch):
+                monkeypatch.setattr("repro.serving.transport.X", Y)
+        """
+        assert lint_source(source, path="src/repro/tooling.py", rule="fault-seam") == []
+
+
+class TestLockDiscipline:
+    def test_fires_on_unguarded_write(self, lint_source):
+        source = """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def bump(self):
+                    self.value += 1
+        """
+        findings = lint_source(source, rule="lock-discipline")
+        assert rules_fired(findings) == ["lock-discipline"]
+        assert "Counter.bump" in findings[0].message
+
+    def test_fires_on_nested_attribute_and_subscript_writes(self, lint_source):
+        source = """
+            import threading
+
+            class Table:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.stats = Stats()
+                    self._entries = {}
+
+                def record(self, key):
+                    self.stats.hits += 1
+                    self._entries[key] = True
+        """
+        findings = lint_source(source, rule="lock-discipline")
+        assert len(findings) == 2
+
+    def test_silent_when_guarded(self, lint_source):
+        source = """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.value += 1
+
+                def rename(self, name):
+                    with self._other, self._lock:
+                        self.name = name
+        """
+        assert lint_source(source, rule="lock-discipline") == []
+
+    def test_silent_without_a_lock(self, lint_source):
+        source = """
+            class Plain:
+                def __init__(self):
+                    self.value = 0
+
+                def bump(self):
+                    self.value += 1
+        """
+        assert lint_source(source, rule="lock-discipline") == []
+
+    def test_condition_counts_as_a_guard(self, lint_source):
+        source = """
+            import threading
+
+            class Drain:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._drained = threading.Condition(self._lock)
+                    self.pending = 0
+
+                def note(self):
+                    with self._drained:
+                        self.pending -= 1
+        """
+        assert lint_source(source, rule="lock-discipline") == []
+
+    def test_init_writes_are_exempt(self, lint_source):
+        source = """
+            import threading
+
+            class Built:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.ready = True
+        """
+        assert lint_source(source, rule="lock-discipline") == []
+
+
+class TestSpanDiscipline:
+    def test_fires_on_bare_time_time(self, lint_source):
+        source = """
+            import time
+
+            def measure():
+                start = time.time()
+                return time.time() - start
+        """
+        findings = lint_source(source, rule="span-discipline")
+        assert len(findings) == 2
+
+    def test_fires_on_from_import_alias(self, lint_source):
+        source = """
+            from time import time
+
+            def now():
+                return time()
+        """
+        findings = lint_source(source, rule="span-discipline")
+        assert len(findings) == 1
+
+    def test_fires_on_tracer_construction_outside_telemetry(self, lint_source):
+        source = """
+            from repro.telemetry.tracer import Tracer
+
+            def make():
+                return Tracer()
+        """
+        findings = lint_source(
+            source, path="src/repro/serving/x.py", rule="span-discipline"
+        )
+        assert len(findings) == 1
+        assert "get_tracer" in findings[0].message
+
+    def test_silent_on_monotonic_and_get_tracer(self, lint_source):
+        source = """
+            import time
+            from repro.telemetry import get_tracer
+
+            def measure():
+                start = time.perf_counter()
+                with get_tracer().span("stage"):
+                    pass
+                return time.monotonic(), time.perf_counter() - start
+        """
+        assert lint_source(source, path="src/repro/serving/x.py", rule="span-discipline") == []
+
+    def test_tracer_construction_allowed_in_telemetry_and_tests(self, lint_source):
+        source = """
+            from repro.telemetry.tracer import Tracer
+            tracer = Tracer()
+        """
+        for path in ("src/repro/telemetry/setup.py", "tests/telemetry/test_t.py"):
+            assert lint_source(source, path=path, rule="span-discipline") == []
+
+
+class TestProtocolDrift:
+    def test_fires_on_dropped_field(self, lint_source):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Message:
+                kind: str
+                payload: str
+
+                def to_dict(self):
+                    return {"kind": self.kind}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(kind=data["kind"], payload=data.get("payload", ""))
+        """
+        findings = lint_source(source, rule="protocol-drift")
+        assert len(findings) == 1
+        assert "payload" in findings[0].message and "to_dict" in findings[0].message
+
+    def test_silent_on_full_literal_coverage(self, lint_source):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Message:
+                kind: str
+                payload: str
+
+                def to_dict(self):
+                    return {"kind": self.kind, "payload": self.payload}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(kind=data["kind"], payload=data["payload"])
+        """
+        assert lint_source(source, rule="protocol-drift") == []
+
+    def test_silent_on_blanket_asdict_and_kwargs(self, lint_source):
+        source = """
+            import json
+            from dataclasses import asdict, dataclass
+
+            @dataclass
+            class Message:
+                kind: str
+                payload: str
+
+                def to_dict(self):
+                    return asdict(self)
+
+                def to_json(self):
+                    return json.dumps(self.to_dict())
+
+                @classmethod
+                def from_json(cls, text):
+                    return cls(**json.loads(text))
+        """
+        assert lint_source(source, rule="protocol-drift") == []
+
+    def test_silent_without_codec_pair(self, lint_source):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class ViewOnly:
+                kind: str
+
+                def to_dict(self):
+                    return {}
+        """
+        assert lint_source(source, rule="protocol-drift") == []
+
+    def test_silent_outside_src(self, lint_source):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Message:
+                kind: str
+
+                def to_dict(self):
+                    return {}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls("x")
+        """
+        assert lint_source(source, path="tests/x/test_y.py", rule="protocol-drift") == []

@@ -114,7 +114,7 @@ def test_cluster_enabled_config_builds_router():
     stack = build_dots_backend(spec, config=config)
     assert stack.cluster is not None
     assert stack.cluster.shard_count == 2
-    assert stack.serving is stack.cluster.router
+    assert stack.service is stack.cluster.router
 
     # The harness drives the router, not the bypassed single backend.
     from repro.bench.harness import run_scheme_on_trace
@@ -129,7 +129,7 @@ def test_cluster_enabled_config_builds_router():
 
     plain = build_dots_backend(spec, config=default_config(viewport=512))
     assert plain.cluster is None
-    assert plain.serving is plain.backend
+    assert plain.service is plain.backend
 
 
 def test_shard_requests_have_disjoint_cache_keys():

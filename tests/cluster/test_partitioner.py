@@ -22,6 +22,7 @@ from repro.core import App, Canvas, ColumnPlacement, Layer, Transform, dot_rende
 from repro.errors import KyrixError
 from repro.net.protocol import DataRequest
 from repro.server.backend import KyrixBackend
+from repro.serving import build_service
 from repro.storage.database import Database
 from repro.storage.rtree import Rect
 from repro.storage.statistics import SpatialDistribution
@@ -255,9 +256,9 @@ def build_straddler_backend() -> KyrixBackend:
     layer.add_rendering_func(dot_renderer("x", "y"))
     app.set_initial_canvas("main", 0, 0)
     compiled = compile_application(app)
-    backend = KyrixBackend(database, compiled, config)
-    backend.precompute(tile_sizes=(50,))
-    return backend
+    return build_service(
+        config, database=database, compiled=compiled, tile_sizes=(50,)
+    )
 
 
 def test_straddling_object_replicated_but_deduplicated():

@@ -22,16 +22,16 @@ from repro.client import KyrixFrontend  # noqa: E402
 from repro.compiler import compile_application  # noqa: E402
 from repro.config import INTERACTIVITY_BUDGET_MS  # noqa: E402
 from repro.datagen import EEGSpec, USMapSpec  # noqa: E402
-from repro.server import KyrixBackend, dbox50_scheme, dbox_scheme  # noqa: E402
+from repro.server import dbox50_scheme, dbox_scheme  # noqa: E402
+from repro.serving import build_service  # noqa: E402
 
 
 @pytest.fixture(scope="module")
 def usmap_frontend():
     app, database = build_usmap_application(USMapSpec())
     compiled = compile_application(app)
-    backend = KyrixBackend(database, compiled, app.config)
-    backend.precompute()
-    return KyrixFrontend(backend, dbox50_scheme(), render=True)
+    service = build_service(app.config, database=database, compiled=compiled)
+    return KyrixFrontend(service, dbox50_scheme(), render=True)
 
 
 @pytest.fixture(scope="module")
@@ -39,9 +39,8 @@ def eeg_frontend():
     spec = EEGSpec(channels=2, sample_rate_hz=32.0, duration_s=120.0)
     app, database = build_eeg_application(spec)
     compiled = compile_application(app)
-    backend = KyrixBackend(database, compiled, app.config)
-    backend.precompute()
-    return KyrixFrontend(backend, dbox_scheme(), render=True)
+    service = build_service(app.config, database=database, compiled=compiled)
+    return KyrixFrontend(service, dbox_scheme(), render=True)
 
 
 class TestUSMapApplication:

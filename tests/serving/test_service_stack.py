@@ -251,11 +251,33 @@ class TestBuildService:
 class TestDeprecationShims:
     def test_frontend_backend_alias(self, dots_stack):
         frontend = KyrixFrontend(dots_stack.backend)
-        assert frontend.backend is frontend.service is dots_stack.backend
+        with pytest.warns(DeprecationWarning, match="KyrixFrontend.backend"):
+            alias = frontend.backend
+        assert alias is frontend.service is dots_stack.backend
 
     def test_session_from_backend_alias(self, dots_stack):
-        session = ExplorationSession.from_backend(dots_stack.backend)
+        with pytest.warns(DeprecationWarning, match="from_backend"):
+            session = ExplorationSession.from_backend(dots_stack.backend)
         assert session.frontend.service is dots_stack.backend
 
     def test_stack_serving_alias(self, dots_stack):
-        assert dots_stack.serving is dots_stack.service
+        with pytest.warns(DeprecationWarning, match="DotsStack.serving"):
+            alias = dots_stack.serving
+        assert alias is dots_stack.service
+
+    def test_factory_built_endpoints_construct_silently(self, dots_stack):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            KyrixFrontend(dots_stack.backend)
+
+    def test_hand_built_endpoint_warns(self, dots_stack):
+        from repro.server.backend import KyrixBackend
+
+        raw = KyrixBackend(  # repolint: disable=factory-only
+            dots_stack.database, dots_stack.compiled, dots_stack.backend.config
+        )
+        raw.precompute()
+        with pytest.warns(DeprecationWarning, match="hand-constructed KyrixBackend"):
+            KyrixFrontend(raw)
