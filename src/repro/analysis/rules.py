@@ -21,6 +21,12 @@ Rule ids (see ``README.md`` in this package for the full contract):
     A dataclass with both a serializer (``to_dict``/``to_json``) and a
     deserializer (``from_dict``/``from_json``) must mention every field in
     each, unless the method is blanket (``asdict(self)`` / ``cls(**...)``).
+    Standalone codec modules registered in ``_CODEC_COMPANIONS`` (the
+    binary columnar codec) must likewise mention every field of the
+    sibling protocol dataclasses they encode, in both directions — a field
+    added to ``DataRequest``/``DataResponse`` without a matching codec
+    update fails the lint instead of silently dropping off the binary
+    wire.
 """
 
 from __future__ import annotations
@@ -369,6 +375,19 @@ class SpanDisciplineChecker(Checker):
         return isinstance(func, ast.Name) and func.id in aliases
 
 
+#: Standalone codec modules that re-encode a *sibling* module's protocol
+#: dataclasses: rel_path -> ((sibling file, class name, function names), ...).
+#: Each listed module-level function must mention every field of the named
+#: dataclass, so adding a field to the protocol without updating the binary
+#: codec fails the lint instead of silently dropping off the wire.
+_CODEC_COMPANIONS: dict[str, tuple[tuple[str, str, tuple[str, ...]], ...]] = {
+    "src/repro/net/columnar.py": (
+        ("protocol.py", "DataRequest", ("_pack_request", "_unpack_request")),
+        ("protocol.py", "DataResponse", ("encode_response", "decode_response")),
+    ),
+}
+
+
 @register
 class ProtocolDriftChecker(Checker):
     """Dataclass fields missing from their wire-codec methods."""
@@ -376,7 +395,8 @@ class ProtocolDriftChecker(Checker):
     rule = "protocol-drift"
     description = (
         "dataclasses with to_dict/to_json and from_dict/from_json must "
-        "mention every field in both directions (or serialize blanket)"
+        "mention every field in both directions (or serialize blanket); "
+        "registered codec modules must cover their companion dataclasses"
     )
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
@@ -388,6 +408,7 @@ class ProtocolDriftChecker(Checker):
         for node in ast.walk(tree):
             if isinstance(node, ast.ClassDef) and self._is_dataclass(node):
                 yield from self._check_dataclass(module, node)
+        yield from self._check_codec_module(module, tree)
 
     @staticmethod
     def _is_dataclass(cls: ast.ClassDef) -> bool:
@@ -427,6 +448,61 @@ class ProtocolDriftChecker(Checker):
                         f"{field_name!r}; wire codecs must cover every "
                         "dataclass field",
                     )
+
+    def _check_codec_module(
+        self, module: ModuleSource, tree: ast.Module
+    ) -> Iterator[Finding]:
+        companions = _CODEC_COMPANIONS.get(module.rel_path)
+        if not companions:
+            return
+        functions = {
+            node.name: node
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for sibling_name, class_name, function_names in companions:
+            fields = self._sibling_fields(module, sibling_name, class_name)
+            if not fields:
+                continue
+            for function_name in function_names:
+                function = functions.get(function_name)
+                if function is None:
+                    yield self.finding(
+                        module,
+                        1,
+                        f"codec module must define {function_name}() "
+                        f"covering every {class_name} field",
+                    )
+                    continue
+                covered = self._covered_names(function)
+                for field_name in fields:
+                    if field_name not in covered:
+                        yield self.finding(
+                            module,
+                            function.lineno,
+                            f"{function_name} omits {class_name} field "
+                            f"{field_name!r}; the binary codec must cover "
+                            "every protocol dataclass field",
+                        )
+
+    def _sibling_fields(
+        self, module: ModuleSource, sibling_name: str, class_name: str
+    ) -> list[str]:
+        """Field names of ``class_name`` in a sibling module on disk.
+
+        Returns ``[]`` when the sibling cannot be read or parsed (e.g. the
+        virtual paths used by rule-test fixtures), which skips the check
+        rather than fabricating findings.
+        """
+        try:
+            text = (module.path.parent / sibling_name).read_text(encoding="utf-8")
+            tree = ast.parse(text)
+        except (OSError, SyntaxError, ValueError):
+            return []
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                return self._field_names(node)
+        return []
 
     @staticmethod
     def _field_names(cls: ast.ClassDef) -> list[str]:

@@ -34,6 +34,7 @@ from ..server.schemes import (
     tile_spatial_scheme,
 )
 from ..server.tile import TileScheme
+from ..serving import collect_wire_stats
 from .apps import DotsStack, build_dots_backend, default_config
 from .harness import ExperimentResult, SchemeResult, run_experiment, run_scheme_on_trace
 
@@ -353,6 +354,15 @@ class ClusterScalingResult:
     router_cache_hits: int
     duplicates_removed: int
     per_shard_requests: dict[int, int]
+    #: Wire codec requested for shard traffic (``cluster.wire_codec``):
+    #: ``"auto"`` negotiates binary with fallback, ``"json"`` pins the
+    #: legacy envelope, ``"binary"`` requires the columnar codec.
+    codec: str = "auto"
+    #: Total bytes that crossed the shard transport boundary (payload plus
+    #: frame headers, both directions), summed over every stub in the
+    #: cluster via :func:`repro.serving.collect_wire_stats`.  Zero when the
+    #: topology keeps shard calls in-process (``wire_shards=False``).
+    wire_bytes_total: int = 0
     #: Per-stage span-duration percentiles from the telemetry registry
     #: (``{span_name: {"p50": ..., "p99": ...}}``), populated only when the
     #: experiment ran with ``telemetry=True``.
@@ -364,10 +374,14 @@ class ClusterScalingResult:
             "shards": self.shard_count,
             "strategy": self.strategy,
             "workers": self.workers,
+            "codec": self.codec,
             "sessions": self.sessions,
             "steps": self.steps,
             "throughput_steps_s": round(self.throughput_steps_per_s, 1),
             "wall_ms_per_step": round(self.measured_step_ms, 3),
+            "wire_bytes_per_step": round(
+                self.wire_bytes_total / self.steps if self.steps else 0.0, 1
+            ),
             "p50_ms": round(self.latency.median, 2),
             "p95_ms": round(self.latency.p95, 2),
             "p99_ms": round(self.latency.p99, 2),
@@ -565,6 +579,7 @@ def cluster_scaling(
     parallel: bool = True,
     wire_shards: bool | None = None,
     worker_mode: str = "threads",
+    wire_codec: str = "auto",
     telemetry: bool = False,
 ) -> list[ClusterScalingResult]:
     """Throughput/latency of the sharded cluster at increasing shard counts.
@@ -589,6 +604,13 @@ def cluster_scaling(
     on (:mod:`repro.telemetry`), and each result carries per-stage
     span-duration percentiles (``stage_percentiles``) flattened into the
     ``--json`` artifact as ``<stage>_p50_ms`` / ``<stage>_p99_ms`` columns.
+
+    ``wire_codec`` selects the shard-boundary wire codec
+    (``cluster.wire_codec``: ``"auto"`` negotiates the binary columnar
+    codec with JSON fallback, ``"json"`` pins the legacy envelope,
+    ``"binary"`` requires the columnar codec); every result reports the
+    bytes that actually crossed the transport (``wire_bytes_total``,
+    flattened as ``wire_bytes_per_step``) so codec runs are comparable.
     """
     results: list[ClusterScalingResult] = []
     for dataset_name in datasets:
@@ -610,6 +632,7 @@ def cluster_scaling(
                 parallel=parallel,
                 wire_shards=wire_shards,
                 worker_mode=worker_mode,
+                wire_codec=wire_codec,
                 telemetry=True if telemetry else None,
             )
             # Report what actually ran: the KD partitioner falls back to the
@@ -646,6 +669,7 @@ def cluster_scaling(
                     step_times.append(breakdown.total_ms)
                     query_times.append(breakdown.query_ms)
             router_stats = cluster.router.stats
+            wire_bytes = collect_wire_stats(cluster.router).bytes_total
             stage_percentiles: dict[str, dict[str, float]] = {}
             if telemetry:
                 # Build-time configure() reset the registry, so this
@@ -678,6 +702,8 @@ def cluster_scaling(
                     router_cache_hits=router_stats.cache_hits,
                     duplicates_removed=router_stats.duplicates_removed,
                     per_shard_requests=dict(router_stats.per_shard_requests),
+                    codec=wire_codec,
+                    wire_bytes_total=wire_bytes,
                     stage_percentiles=stage_percentiles,
                 )
             )

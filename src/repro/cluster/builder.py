@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
 from ..config import ClusterConfig, KyrixConfig
+from ..net.columnar import codec_preference
 from ..server.backend import KyrixBackend
 from ..telemetry import configure as configure_telemetry
 from ..serving.base import DataService
@@ -65,20 +66,24 @@ class ShardedCluster:
             self.worker_pool.close()
 
 
-def shard_service(shard: ShardHandle, *, wire: bool) -> DataService:
+def shard_service(
+    shard: ShardHandle, *, wire: bool, codecs: tuple[str, ...] | None = None
+) -> DataService:
     """The single-copy serving stack of one shard.
 
     Always a :class:`~repro.serving.middleware.SerializedService` guarding
     the shard's embedded engine (the stand-in for one single-threaded worker
     process).  With ``wire=True`` a
     :class:`~repro.serving.transport.TransportService` sits on top, so every
-    call the router makes crosses the :mod:`repro.net.protocol` JSON
-    encoding both ways — exactly the bytes a multi-node deployment would
-    exchange.
+    call the router makes crosses the :mod:`repro.net` encoding both ways —
+    exactly the bytes a multi-node deployment would exchange.  ``codecs``
+    is the transport seam's wire-codec preference (from
+    ``cluster.wire_codec``, which lives on the *effective* cluster config,
+    not necessarily the backend's own).
     """
     stack: DataService = SerializedService(shard.backend, lock=shard.lock)
     if wire:
-        stack = TransportService(stack)
+        stack = TransportService(stack, codecs=codecs)
     return stack
 
 
@@ -88,6 +93,7 @@ def replica_service(
     config: "KyrixConfig",
     *,
     wire: bool,
+    codecs: tuple[str, ...] | None = None,
 ) -> ReplicaService:
     """A replica set fronting one shard's immutable index.
 
@@ -111,7 +117,7 @@ def replica_service(
         )
         stack = CachingService(stack, entries=cache_entries)
         if wire:
-            stack = TransportService(stack)
+            stack = TransportService(stack, codecs=codecs)
         replicas.append(stack)
     return ReplicaService(
         replicas,
@@ -152,13 +158,14 @@ def spawn_worker_topology(
     while the old one still serves, and the generation keeps their process
     names and fixed-port ranges apart.
     """
+    codecs = codec_preference(cluster_config.wire_codec)
     specs: list[ShardSpec] = []
     for shard in shards:
         # One dump (and one pickled payload) per shard: the pool runs the
         # same spec object once per replica, so N replicas do not mean N
         # copies of the rows in the parent.
         shard_spec = build_shard_spec(
-            shard.database, compiled, config, shard_id=shard.shard_id
+            shard.database, compiled, config, shard_id=shard.shard_id, codecs=codecs
         )
         specs.extend([shard_spec] * cluster_config.replicas)
     pool = WorkerPool(
@@ -174,6 +181,7 @@ def spawn_worker_topology(
                 pool.handle_for(shard.shard_id, replica_index).transport(),
                 compiled,
                 config,
+                codecs=codecs,
             )
             for replica_index in range(cluster_config.replicas)
         ]
@@ -212,13 +220,20 @@ def attach_shard_services(
         return spawn_worker_topology(
             shards, cluster_config, config, compiled, generation=generation
         )
+    codecs = codec_preference(cluster_config.wire_codec)
     for shard in shards:
         if cluster_config.replicas > 1:
             shard.service = replica_service(
-                shard, cluster_config, config, wire=cluster_config.wire_shards
+                shard,
+                cluster_config,
+                config,
+                wire=cluster_config.wire_shards,
+                codecs=codecs,
             )
         else:
-            shard.service = shard_service(shard, wire=cluster_config.wire_shards)
+            shard.service = shard_service(
+                shard, wire=cluster_config.wire_shards, codecs=codecs
+            )
     return None
 
 
@@ -262,6 +277,7 @@ def build_cluster(
     replicas: int | None = None,
     replica_policy: str | None = None,
     worker_mode: str | None = None,
+    wire_codec: str | None = None,
     rebalance: bool | None = None,
     telemetry: bool | None = None,
     tile_sizes: tuple[int, ...] = (),
@@ -303,6 +319,7 @@ def build_cluster(
             ("replicas", replicas),
             ("replica_policy", replica_policy),
             ("worker_mode", worker_mode),
+            ("wire_codec", wire_codec),
             ("rebalance_enabled", rebalance),
         )
         if value is not None

@@ -189,6 +189,23 @@ class WorkerConnectionError(WorkerError):
 
 
 # ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+class ProtocolError(KyrixError):
+    """A payload cannot cross the wire protocol losslessly.
+
+    Raised when an encoder meets a value the codec has no representation
+    for (e.g. a ``datetime`` column value in a JSON response), or when a
+    decoder meets bytes that do not parse as the message they claim to be.
+    Typed so callers can tell a protocol defect from a transport failure —
+    silently coercing the value (the old ``default=str`` behaviour) would
+    break the round-trip-is-lossless invariant without any error at all.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Socket framing
 # ---------------------------------------------------------------------------
 
@@ -203,6 +220,17 @@ class FrameTooLargeError(FrameError):
 
 class TruncatedFrameError(FrameError):
     """The stream ended mid-frame (inside a header or a payload)."""
+
+
+class ProtocolViolationError(TruncatedFrameError):
+    """The peer broke the one-frame-out/one-frame-back conversation.
+
+    Raised by :func:`~repro.net.socket_transport.read_frame` when a peer
+    sends *extra* frames for a single round-trip — a protocol violation by
+    a live, chatty peer, not a stream that died mid-frame.  Subclasses
+    :class:`TruncatedFrameError` for compatibility with callers that treat
+    any framing failure as a desynchronised connection.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,593 @@
+"""Binary columnar wire codec for shard conversations.
+
+The JSON envelope (:mod:`repro.serving.transport`) made shard calls
+wire-faithful, but every scatter pays ``DataResponse`` ⇄ JSON text both
+ways — the dominant per-step cost for wide responses (ROADMAP open item 2).
+This module is the compact alternative: requests and responses cross as
+packed binary messages, with each response's objects laid out as **typed
+columns** (int / float / str / tuple-of-float bbox) instead of repeating
+every column name and textual value per row.
+
+Framing and negotiation
+-----------------------
+The length-prefixed transport (:mod:`repro.net.socket_transport`) is
+unchanged; this codec only redefines the frame *payload*.  Every new-style
+payload starts with a one-byte codec tag:
+
+* ``H`` — a negotiation hello.  The client offers its codec preference
+  (``{"codecs": ["binary", "json"]}``); the server answers with the first
+  offered codec it accepts (``{"codec": "binary"}``).
+* ``B`` — a binary message (request, response or error; see below).
+* ``J`` — a JSON envelope, byte-identical to the legacy payload after the
+  tag.
+
+A payload starting with ``{`` is a **legacy untagged JSON envelope**: new
+servers answer it with an untagged JSON reply, and a client whose hello is
+answered with untagged JSON (a legacy server choking on the ``H`` frame)
+marks the connection legacy and falls back to untagged JSON — so mixed-
+version peers interoperate in both directions, as do clusters whose router
+and workers negotiate different codecs per connection.
+
+Binary messages
+---------------
+After the ``B`` tag, one kind byte selects the message:
+
+* ``MSG_REQUEST`` — a packed :class:`~repro.net.protocol.DataRequest`
+  (the ``handle`` hot path; metadata operations stay JSON envelopes).
+  A trace context rides the message exactly as it rides the JSON wire
+  form: stamped at encode time, popped server-side before the request
+  object is rebuilt, so caches never see it.
+* ``MSG_RESPONSE`` — a packed :class:`~repro.net.protocol.DataResponse`:
+  scalar fields, the per-shard timing map, remotely-collected trace spans
+  (a JSON blob, exactly the envelope's ``trace`` field), and the objects
+  as a columnar block.
+* ``MSG_ERROR`` — an exception type name and message, the binary peer of
+  :func:`repro.serving.transport.encode_error`.
+
+The columnar block stores, per column: the name, a one-byte type tag, a
+presence bitmap (key absent vs present), a null bitmap, then the packed
+values of the present non-null rows in row order.  Columns that are not
+homogeneously typed — or hold values with no fixed-width representation —
+fall back to per-cell canonical JSON, decoded through the same recursive
+canonicalisation as the JSON wire path, so **decoded payloads are
+identical across codecs** and ``decode(encode(r)) == r`` holds for every
+response the JSON codec can carry (and some it cannot, e.g. NaN floats).
+
+Integers outside the signed 64-bit range and mixed int/float columns use
+the JSON fallback deliberately: packing them as doubles would round or
+retype them, and the law of this wire is losslessness first.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import replace
+from typing import Any
+
+from ..errors import ProtocolError
+from .protocol import (
+    DataRequest,
+    DataResponse,
+    _canonical_value,
+    _reject_unencodable,
+)
+
+__all__ = [
+    "CODEC_BINARY",
+    "CODEC_JSON",
+    "TAG_BINARY",
+    "TAG_HELLO",
+    "TAG_JSON",
+    "MSG_ERROR",
+    "MSG_REQUEST",
+    "MSG_RESPONSE",
+    "answer_hello",
+    "codec_preference",
+    "decode_error",
+    "decode_request",
+    "decode_response",
+    "encode_error",
+    "encode_hello",
+    "encode_request",
+    "encode_response",
+    "message_kind",
+    "negotiate_codec",
+    "parse_hello_reply",
+]
+
+#: Codec names as they appear in hellos and ``cluster.wire_codec``.
+CODEC_BINARY = "binary"
+CODEC_JSON = "json"
+
+#: One-byte codec tags prefixed to every new-style frame payload.
+TAG_HELLO = b"H"
+TAG_JSON = b"J"
+TAG_BINARY = b"B"
+
+#: Binary message kinds (the byte after the ``B`` tag).
+MSG_REQUEST = 1
+MSG_RESPONSE = 2
+MSG_ERROR = 3
+
+#: Column type tags of the columnar block.
+COL_JSON = 0  # per-cell canonical JSON (mixed / nested / exotic columns)
+COL_I64 = 1
+COL_F64 = 2
+COL_STR = 3
+COL_BOOL = 4
+COL_F64S = 5  # tuple of floats (e.g. the ``bbox`` placement column)
+
+_U8 = struct.Struct(">B")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+
+# ---------------------------------------------------------------------------
+# Codec negotiation
+# ---------------------------------------------------------------------------
+
+
+def codec_preference(mode: str) -> tuple[str, ...]:
+    """The codec preference list for a ``cluster.wire_codec`` mode.
+
+    ``auto`` prefers binary with JSON fallback; ``binary`` and ``json``
+    pin the single codec (a ``json`` peer also keeps legacy untagged
+    framing, so it interoperates with pre-codec peers byte-for-byte).
+    """
+    if mode == CODEC_JSON:
+        return (CODEC_JSON,)
+    if mode == CODEC_BINARY:
+        return (CODEC_BINARY,)
+    return (CODEC_BINARY, CODEC_JSON)
+
+
+def negotiate_codec(
+    preference: tuple[str, ...], allowed: tuple[str, ...]
+) -> str | None:
+    """The first client-preferred codec the server accepts, or ``None``."""
+    for name in preference:
+        if name in allowed:
+            return name
+    return None
+
+
+def encode_hello(preference: tuple[str, ...]) -> bytes:
+    """The client's negotiation frame payload (tag included)."""
+    return TAG_HELLO + json.dumps(
+        {"codecs": list(preference)}, sort_keys=True
+    ).encode("utf-8")
+
+
+def answer_hello(body: bytes, allowed: tuple[str, ...]) -> bytes:
+    """The server's reply payload (tag included) to a hello ``body``."""
+    try:
+        offered = json.loads(body.decode("utf-8")).get("codecs") or []
+    except (ValueError, UnicodeDecodeError, AttributeError):
+        offered = []
+    chosen = negotiate_codec(tuple(offered), allowed)
+    if chosen is None:
+        reply = {"codecs": list(allowed), "error": "no common wire codec"}
+    else:
+        reply = {"codec": chosen}
+    return TAG_HELLO + json.dumps(reply, sort_keys=True).encode("utf-8")
+
+
+def parse_hello_reply(payload: bytes) -> str | None:
+    """The codec a hello reply selected.
+
+    Returns ``None`` when the peer is a legacy JSON server that answered
+    the hello with an untagged JSON error envelope (it cannot speak tagged
+    frames at all); raises :class:`~repro.errors.ProtocolError` when the
+    peer understood the hello but accepts no offered codec.
+    """
+    if payload[:1] != TAG_HELLO:
+        return None
+    try:
+        data = json.loads(payload[1:].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"malformed hello reply: {error}") from error
+    codec = data.get("codec")
+    if isinstance(codec, str):
+        return codec
+    raise ProtocolError(
+        "codec negotiation failed: "
+        f"{data.get('error', 'no codec selected')} "
+        f"(server accepts {data.get('codecs')})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Primitive writers / reader
+# ---------------------------------------------------------------------------
+
+
+def _w_text(out: bytearray, value: str) -> None:
+    data = value.encode("utf-8")
+    out += _U32.pack(len(data))
+    out += data
+
+
+def _w_opt_i64(out: bytearray, value: int | None) -> None:
+    if value is None:
+        out += b"\x00"
+    else:
+        out += b"\x01"
+        out += _I64.pack(value)
+
+
+def _w_opt_f64(out: bytearray, value: float | None) -> None:
+    if value is None:
+        out += b"\x00"
+    else:
+        out += b"\x01"
+        out += _F64.pack(value)
+
+
+def _w_json_or_none(out: bytearray, value: Any) -> None:
+    """A JSON blob, with zero length meaning ``None`` / empty."""
+    if not value:
+        out += _U32.pack(0)
+        return
+    _w_text(out, json.dumps(value, sort_keys=True, default=_reject_unencodable))
+
+
+class _Reader:
+    """A bounds-checked cursor over one binary message body."""
+
+    __slots__ = ("_data", "_offset")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def raw(self, size: int) -> bytes:
+        end = self._offset + size
+        if size < 0 or end > len(self._data):
+            raise ProtocolError(
+                f"binary message truncated: needed {size} byte(s) at "
+                f"offset {self._offset} of {len(self._data)}"
+            )
+        chunk = self._data[self._offset : end]
+        self._offset = end
+        return chunk
+
+    def u8(self) -> int:
+        return self.raw(1)[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.raw(4))[0]
+
+    def i64(self) -> int:
+        return _I64.unpack(self.raw(8))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self.raw(8))[0]
+
+    def text(self) -> str:
+        data = self.raw(self.u32())
+        try:
+            return data.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"binary message holds invalid UTF-8: {error}") from error
+
+    def opt_i64(self) -> int | None:
+        return self.i64() if self.u8() else None
+
+    def opt_f64(self) -> float | None:
+        return self.f64() if self.u8() else None
+
+    def json_or_none(self) -> Any:
+        length = self.u32()
+        if length == 0:
+            return None
+        try:
+            return json.loads(self.raw(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ProtocolError(f"binary message holds invalid JSON: {error}") from error
+
+    def expect_end(self) -> None:
+        if self._offset != len(self._data):
+            raise ProtocolError(
+                f"binary message has {len(self._data) - self._offset} "
+                "trailing byte(s)"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+def _pack_request(
+    out: bytearray, request: DataRequest, trace: dict[str, Any] | None
+) -> None:
+    """Pack every :class:`DataRequest` field, wire order.
+
+    ``trace`` overrides the request's own ``trace`` field for this one
+    encoding — the transport stub stamps the caller's context onto the
+    wire form only, exactly as the JSON path does.
+    """
+    _w_text(out, request.app_name)
+    _w_text(out, request.canvas_id)
+    out += _I64.pack(request.layer_index)
+    _w_text(out, request.granularity)
+    _w_text(out, request.design)
+    _w_opt_i64(out, request.tile_id)
+    _w_opt_i64(out, request.tile_size)
+    _w_opt_f64(out, request.xmin)
+    _w_opt_f64(out, request.ymin)
+    _w_opt_f64(out, request.xmax)
+    _w_opt_f64(out, request.ymax)
+    _w_opt_i64(out, request.shard_id)
+    _w_json_or_none(out, request.trace if trace is None else trace)
+
+
+def _unpack_request(reader: _Reader) -> DataRequest:
+    """The inverse of :func:`_pack_request`: every field, same order."""
+    return DataRequest(
+        app_name=reader.text(),
+        canvas_id=reader.text(),
+        layer_index=reader.i64(),
+        granularity=reader.text(),
+        design=reader.text(),
+        tile_id=reader.opt_i64(),
+        tile_size=reader.opt_i64(),
+        xmin=reader.opt_f64(),
+        ymin=reader.opt_f64(),
+        xmax=reader.opt_f64(),
+        ymax=reader.opt_f64(),
+        shard_id=reader.opt_i64(),
+        trace=reader.json_or_none(),
+    )
+
+
+def encode_request(
+    request: DataRequest, *, trace: dict[str, Any] | None = None
+) -> bytes:
+    """Encode one ``handle`` request as a binary message body (no tag)."""
+    out = bytearray()
+    out += _U8.pack(MSG_REQUEST)
+    _pack_request(out, request, trace)
+    return bytes(out)
+
+
+def decode_request(body: bytes) -> tuple[DataRequest, dict[str, Any] | None]:
+    """Decode a request body into ``(request, trace_context)``.
+
+    The trace context is popped off the rebuilt request — server-side
+    caches and responses must stay identical whether or not the caller
+    traces, matching the JSON path's lift-before-rebuild.
+    """
+    reader = _Reader(body)
+    kind = reader.u8()
+    if kind != MSG_REQUEST:
+        raise ProtocolError(f"expected a request message, got kind {kind}")
+    request = _unpack_request(reader)
+    reader.expect_end()
+    context = request.trace
+    if context is not None:
+        request = replace(request, trace=None)
+    return request, context
+
+
+# ---------------------------------------------------------------------------
+# The columnar objects block
+# ---------------------------------------------------------------------------
+
+
+def _column_tag(values: list[Any]) -> int:
+    """Pick the packed representation for one column's non-null values."""
+    saw_bool = saw_int = saw_float = saw_str = saw_floats = False
+    for value in values:
+        if isinstance(value, bool):
+            saw_bool = True
+        elif isinstance(value, int):
+            if not _I64_MIN <= value <= _I64_MAX:
+                return COL_JSON
+            saw_int = True
+        elif isinstance(value, float):
+            saw_float = True
+        elif isinstance(value, str):
+            saw_str = True
+        elif (
+            isinstance(value, tuple)
+            and len(value) <= 255
+            and all(isinstance(item, float) for item in value)
+        ):
+            saw_floats = True
+        else:
+            return COL_JSON
+    flags = (saw_bool, saw_int, saw_float, saw_str, saw_floats)
+    if sum(flags) != 1:
+        # Mixed columns (including int/float mixes) fall back to JSON
+        # cells: packing 1 and 1.0 into one numeric column would retype
+        # one of them, and losslessness outranks compactness.
+        return COL_JSON
+    return (COL_BOOL, COL_I64, COL_F64, COL_STR, COL_F64S)[flags.index(True)]
+
+
+def _encode_objects(out: bytearray, objects: list[dict[str, Any]]) -> None:
+    n_rows = len(objects)
+    out += _U32.pack(n_rows)
+    names = sorted({name for obj in objects for name in obj})
+    out += _U32.pack(len(names))
+    bitmap_size = (n_rows + 7) // 8
+    for name in names:
+        _w_text(out, name)
+        presence = bytearray(bitmap_size)
+        nulls = bytearray(bitmap_size)
+        values: list[Any] = []
+        for row, obj in enumerate(objects):
+            if name not in obj:
+                continue
+            presence[row >> 3] |= 1 << (row & 7)
+            value = obj[name]
+            if value is None:
+                nulls[row >> 3] |= 1 << (row & 7)
+            else:
+                values.append(value)
+        tag = _column_tag(values)
+        out += _U8.pack(tag)
+        out += presence
+        out += nulls
+        if tag == COL_I64:
+            out += struct.pack(f">{len(values)}q", *values)
+        elif tag == COL_F64:
+            out += struct.pack(f">{len(values)}d", *values)
+        elif tag == COL_BOOL:
+            out += bytes(1 if value else 0 for value in values)
+        elif tag == COL_STR:
+            for value in values:
+                _w_text(out, value)
+        elif tag == COL_F64S:
+            for value in values:
+                out += _U8.pack(len(value))
+                out += struct.pack(f">{len(value)}d", *value)
+        else:
+            for value in values:
+                _w_text(
+                    out,
+                    json.dumps(value, sort_keys=True, default=_reject_unencodable),
+                )
+
+
+def _decode_objects(reader: _Reader) -> list[dict[str, Any]]:
+    n_rows = reader.u32()
+    n_cols = reader.u32()
+    objects: list[dict[str, Any]] = [{} for _ in range(n_rows)]
+    bitmap_size = (n_rows + 7) // 8
+    for _ in range(n_cols):
+        name = reader.text()
+        tag = reader.u8()
+        presence = reader.raw(bitmap_size)
+        nulls = reader.raw(bitmap_size)
+        present_rows = [
+            row for row in range(n_rows) if presence[row >> 3] & (1 << (row & 7))
+        ]
+        value_rows = [
+            row for row in present_rows if not nulls[row >> 3] & (1 << (row & 7))
+        ]
+        count = len(value_rows)
+        values: list[Any]
+        if tag == COL_I64:
+            values = list(struct.unpack(f">{count}q", reader.raw(8 * count)))
+        elif tag == COL_F64:
+            values = list(struct.unpack(f">{count}d", reader.raw(8 * count)))
+        elif tag == COL_BOOL:
+            values = [byte != 0 for byte in reader.raw(count)]
+        elif tag == COL_STR:
+            values = [reader.text() for _ in range(count)]
+        elif tag == COL_F64S:
+            values = []
+            for _ in range(count):
+                size = reader.u8()
+                values.append(struct.unpack(f">{size}d", reader.raw(8 * size)))
+        elif tag == COL_JSON:
+            values = [_canonical_value(json.loads(reader.text())) for _ in range(count)]
+        else:
+            raise ProtocolError(f"unknown column type tag {tag}")
+        cursor = iter(values)
+        for row in present_rows:
+            if nulls[row >> 3] & (1 << (row & 7)):
+                objects[row][name] = None
+            else:
+                objects[row][name] = next(cursor)
+    return objects
+
+
+# ---------------------------------------------------------------------------
+# Responses and errors
+# ---------------------------------------------------------------------------
+
+
+def encode_response(
+    response: DataResponse, *, trace: list[dict[str, Any]] | None = None
+) -> bytes:
+    """Encode one response as a binary message body (no tag).
+
+    ``trace`` overrides the response's own span list for this one
+    encoding, exactly like :meth:`DataResponse.to_json` — transports ship
+    remotely-collected spans home without mutating a cached response.
+    """
+    out = bytearray()
+    out += _U8.pack(MSG_RESPONSE)
+    _pack_request(out, response.request, None)
+    out += _F64.pack(response.query_ms)
+    out += _U8.pack(1 if response.from_cache else 0)
+    out += _I64.pack(response.queries_issued)
+    out += _U8.pack(1 if response.coalesced else 0)
+    shard_ms = response.shard_ms
+    out += _U32.pack(len(shard_ms))
+    for shard_name in sorted(shard_ms):
+        _w_text(out, shard_name)
+        out += _F64.pack(shard_ms[shard_name])
+    _w_json_or_none(out, response.trace if trace is None else trace)
+    _encode_objects(out, response.objects)
+    return bytes(out)
+
+
+def decode_response(body: bytes) -> tuple[DataResponse, list[dict[str, Any]]]:
+    """Decode a response body into ``(response, remote_spans)``.
+
+    Spans that rode the message come back separately and the decoded
+    response carries an empty ``trace`` — the stub drains them into its
+    own tracer, keeping responses above transports byte-identical whether
+    or not the far side traced.
+    """
+    reader = _Reader(body)
+    kind = reader.u8()
+    if kind != MSG_RESPONSE:
+        raise ProtocolError(f"expected a response message, got kind {kind}")
+    request = _unpack_request(reader)
+    query_ms = reader.f64()
+    from_cache = reader.u8() != 0
+    queries_issued = reader.i64()
+    coalesced = reader.u8() != 0
+    shard_ms = {reader.text(): reader.f64() for _ in range(reader.u32())}
+    spans = reader.json_or_none() or []
+    objects = _decode_objects(reader)
+    reader.expect_end()
+    response = DataResponse(
+        request=request,
+        objects=objects,
+        query_ms=query_ms,
+        from_cache=from_cache,
+        queries_issued=queries_issued,
+        shard_ms=shard_ms,
+        coalesced=coalesced,
+        trace=[],
+    )
+    return response, spans
+
+
+def encode_error(error: BaseException) -> bytes:
+    """Encode a server-side failure as a binary message body (no tag)."""
+    out = bytearray()
+    out += _U8.pack(MSG_ERROR)
+    _w_text(out, type(error).__name__)
+    _w_text(out, str(error))
+    return bytes(out)
+
+
+def decode_error(body: bytes) -> tuple[str, str]:
+    """Decode an error body into ``(type_name, message)``."""
+    reader = _Reader(body)
+    kind = reader.u8()
+    if kind != MSG_ERROR:
+        raise ProtocolError(f"expected an error message, got kind {kind}")
+    name = reader.text()
+    message = reader.text()
+    reader.expect_end()
+    return name, message
+
+
+def message_kind(body: bytes) -> int:
+    """The kind byte of a binary message body."""
+    if not body:
+        raise ProtocolError("empty binary message")
+    return body[0]

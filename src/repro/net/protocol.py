@@ -11,6 +11,8 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
+from ..errors import ProtocolError
+
 
 @dataclass(frozen=True)
 class DataRequest:
@@ -74,19 +76,49 @@ class DataRequest:
         return cls(**json.loads(text))
 
 
+def _canonical_value(value: Any) -> Any:
+    """Restore one decoded column value to its canonical form, recursively.
+
+    Sequences are tuples at every nesting level (a polygon column decoded
+    as list-of-point-pairs becomes a tuple of point tuples), and mapping
+    values are canonicalised through.  Recursing is what keeps the wire
+    encoding lossless for nested columns — converting only the top level
+    would leave ``from_json(to_json(r)) != r`` for any response holding a
+    nested sequence.
+    """
+    if isinstance(value, list):
+        return tuple(_canonical_value(item) for item in value)
+    if isinstance(value, dict):
+        return {name: _canonical_value(item) for name, item in value.items()}
+    return value
+
+
 def _canonical_object(obj: dict[str, Any]) -> dict[str, Any]:
     """Restore the canonical row representation after a JSON decode.
 
     Rows are immutable: sequence-valued columns (``bbox``) are tuples in
     every in-process response, but JSON has no tuple type and decodes them
-    as lists.  Converting them back makes the wire encoding lossless —
-    ``DataResponse.from_json(r.to_json()) == r`` — which the shard
-    transport depends on for parity with in-process calls.
+    as lists.  Converting them back — at every nesting depth — makes the
+    wire encoding lossless — ``DataResponse.from_json(r.to_json()) == r``
+    — which the shard transport depends on for parity with in-process
+    calls.
     """
-    return {
-        name: tuple(value) if isinstance(value, list) else value
-        for name, value in obj.items()
-    }
+    return {name: _canonical_value(value) for name, value in obj.items()}
+
+
+def _reject_unencodable(value: Any) -> Any:
+    """The ``default=`` hook for response encoders: refuse, don't coerce.
+
+    A column value with no JSON representation must fail the encode with a
+    typed :class:`~repro.errors.ProtocolError`; stringifying it (the old
+    ``default=str``) would produce a payload that decodes to something
+    other than the original response, silently violating the
+    round-trip-is-lossless invariant.
+    """
+    raise ProtocolError(
+        f"column value of type {type(value).__name__} ({value!r}) has no "
+        "lossless wire encoding"
+    )
 
 
 @dataclass
@@ -145,7 +177,7 @@ class DataResponse:
                 "trace": self.trace if trace is None else trace,
             },
             sort_keys=True,
-            default=str,
+            default=_reject_unencodable,
         )
 
     @classmethod

@@ -56,6 +56,8 @@ from .transport import (
     ShardTransport,
     TransportError,
     TransportService,
+    WireStats,
+    collect_wire_stats,
 )
 from .worker import (
     ShardSpec,
@@ -88,9 +90,11 @@ __all__ = [
     "ShardTransport",
     "TransportError",
     "TransportService",
+    "WireStats",
     "WorkerHandle",
     "WorkerPool",
     "build_service",
+    "collect_wire_stats",
     "is_factory_built",
     "mark_factory_built",
     "build_shard_spec",

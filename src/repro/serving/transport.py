@@ -19,19 +19,33 @@ shard boundary for real:
   inner service, so ``TransportService(shard)`` makes every shard call
   round-trip ``encode -> decode -> handle -> encode -> decode``.
 
-An optional :class:`~repro.net.link.SimulatedLink` charges each envelope's
+Both ends speak two codecs.  The ``handle`` hot path crosses either as
+the legacy JSON envelope or as a :mod:`repro.net.columnar` binary message,
+selected per connection by a one-frame hello (``cluster.wire_codec``
+decides the preference: ``auto`` prefers binary with JSON fallback);
+metadata operations (``warm``/``canvas_info``/``layer_density``) always
+ride JSON envelopes.  Decoded responses are byte-identical across codecs —
+that is the law this seam exists to enforce.
+
+An optional :class:`~repro.net.link.SimulatedLink` charges each reply's
 measured byte size, so shard-boundary traffic shows up in link statistics
 (and, with ``simulate_delay``, as real wall-clock latency the parallel
-scatter-gather then overlaps across shards).
+scatter-gather then overlaps across shards).  Independently of the link,
+every stub counts its real payload traffic (:class:`WireStats`), which is
+what the scaling benchmark reports as ``wire_bytes_per_step``.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
-from ..errors import FetchError, KyrixError
+from ..errors import FetchError, KyrixError, ProtocolError
+from ..net import columnar
 from ..net.protocol import DataRequest, DataResponse
+from ..net.socket_transport import FRAME_HEADER
 from ..telemetry import get_tracer
 from .base import DataService, ServiceMiddleware
 
@@ -43,7 +57,17 @@ if TYPE_CHECKING:
 
 @runtime_checkable
 class ShardTransport(Protocol):
-    """One request/reply exchange of encoded payloads."""
+    """One request/reply exchange of encoded payloads.
+
+    ``roundtrip`` is the minimal (legacy) surface: untagged JSON text both
+    ways.  Codec-aware transports additionally expose
+    ``negotiate(preference) -> str`` and
+    ``exchange(codec, body) -> (reply_codec, reply_body)``; the stub
+    detects them by presence and falls back to ``roundtrip`` otherwise, so
+    wrappers like
+    :class:`~repro.serving.faults.FaultInjectingTransport` keep working
+    unchanged (their conversations simply stay JSON).
+    """
 
     def roundtrip(self, payload: str) -> str:
         """Send one encoded envelope, return the encoded reply."""
@@ -85,16 +109,53 @@ class TransportError(KyrixError):
     """A server-side error re-raised on the client side of a transport."""
 
 
+@dataclass(frozen=True)
+class WireStats:
+    """Measured shard-boundary traffic of one (or a sum of) transport stubs.
+
+    Byte counts are frame payloads plus the 4-byte length header — what a
+    socket actually carries per round-trip, whether the transport under
+    the stub is a real socket or its in-process stand-in.
+    """
+
+    calls: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    def __add__(self, other: "WireStats") -> "WireStats":
+        return WireStats(
+            calls=self.calls + other.calls,
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+            bytes_received=self.bytes_received + other.bytes_received,
+        )
+
+
 class LocalTransport:
     """The server end of the wire, dispatching envelopes to a service.
 
-    Every operation crosses as JSON text both ways — responses are produced
-    with :meth:`DataResponse.to_json` and never leak live objects, which is
-    what makes the pair wire-faithful.
+    Every operation crosses fully encoded both ways — responses are
+    produced with :meth:`DataResponse.to_json` (or
+    :func:`repro.net.columnar.encode_response` on a binary conversation)
+    and never leak live objects, which is what makes the pair
+    wire-faithful.  ``codecs`` is the set this endpoint accepts for the
+    ``handle`` hot path; :meth:`roundtrip_frame` is the tagged-frame
+    server surface (hello negotiation, binary messages, tagged JSON and
+    legacy untagged JSON), :meth:`roundtrip` the legacy text surface.
     """
 
-    def __init__(self, service: DataService) -> None:
+    def __init__(
+        self, service: DataService, *, codecs: tuple[str, ...] | None = None
+    ) -> None:
         self.service = service
+        self.codecs = (
+            tuple(codecs)
+            if codecs
+            else (columnar.CODEC_BINARY, columnar.CODEC_JSON)
+        )
 
     def roundtrip(self, payload: str) -> str:
         try:
@@ -102,6 +163,11 @@ class LocalTransport:
             op = envelope["op"]
             params = envelope.get("params", {})
             if op == "handle":
+                if columnar.CODEC_JSON not in self.codecs:
+                    raise ProtocolError(
+                        "this endpoint serves 'handle' only under the "
+                        "binary wire codec (wire_codec='binary')"
+                    )
                 # Hot path: one decode (the envelope) and one encode (the
                 # response), spliced into the reply frame verbatim.  A
                 # trace context riding the request is lifted off before the
@@ -119,6 +185,66 @@ class LocalTransport:
             return encode_reply(self._dispatch(op, params))
         except Exception as error:  # noqa: BLE001 - faults must cross the wire
             return encode_error(error)
+
+    def roundtrip_frame(self, payload: bytes) -> bytes:
+        """The tagged-frame server: dispatch one payload on its codec tag.
+
+        ``H`` answers the codec hello, ``B`` serves a binary message, ``J``
+        unwraps a tagged JSON envelope; anything else is treated as a
+        legacy untagged JSON envelope and answered untagged, so pre-codec
+        peers interoperate byte-for-byte.
+        """
+        tag = payload[:1]
+        if tag == columnar.TAG_HELLO:
+            return columnar.answer_hello(payload[1:], self.codecs)
+        if tag == columnar.TAG_BINARY:
+            return columnar.TAG_BINARY + self._serve_binary(payload[1:])
+        if tag == columnar.TAG_JSON:
+            reply = self.roundtrip(payload[1:].decode("utf-8", errors="replace"))
+            return columnar.TAG_JSON + reply.encode("utf-8")
+        return self.roundtrip(
+            payload.decode("utf-8", errors="replace")
+        ).encode("utf-8")
+
+    def _serve_binary(self, body: bytes) -> bytes:
+        try:
+            if columnar.CODEC_BINARY not in self.codecs:
+                raise ProtocolError(
+                    "this endpoint does not accept the binary wire codec "
+                    "(wire_codec='json')"
+                )
+            request, context = columnar.decode_request(body)
+            tracer = get_tracer()
+            with tracer.remote_trace(context) as collected:
+                response = self.service.handle(request)
+            if collected is not None and collected.spans:
+                return columnar.encode_response(response, trace=collected.spans)
+            return columnar.encode_response(response)
+        except Exception as error:  # noqa: BLE001 - faults must cross the wire
+            return columnar.encode_error(error)
+
+    def negotiate(self, preference: tuple[str, ...]) -> str:
+        """Pick the first client-preferred codec this endpoint accepts."""
+        chosen = columnar.negotiate_codec(tuple(preference), self.codecs)
+        if chosen is None:
+            raise ProtocolError(
+                f"codec negotiation failed: client offers {tuple(preference)}, "
+                f"server accepts {self.codecs}"
+            )
+        return chosen
+
+    def exchange(self, codec: str, body: bytes) -> tuple[str, bytes]:
+        """One in-process tagged round-trip (the socket transport's twin)."""
+        if codec == columnar.CODEC_BINARY:
+            reply = self.roundtrip_frame(columnar.TAG_BINARY + body)
+        else:
+            reply = self.roundtrip_frame(body)
+        first = reply[:1]
+        if first == columnar.TAG_BINARY:
+            return columnar.CODEC_BINARY, reply[1:]
+        if first == columnar.TAG_JSON:
+            return columnar.CODEC_JSON, reply[1:]
+        return columnar.CODEC_JSON, reply
 
     def _dispatch(self, op: str, params: dict[str, Any]) -> Any:
         if op == "warm":
@@ -143,6 +269,13 @@ class RemoteBackendStub:
     at construction (a remote deployment ships the compiled plan to every
     node; re-sending it per request would be absurd).  Everything else —
     requests, responses, canvas metadata — crosses the transport encoded.
+
+    ``codecs`` is the client's codec preference for the ``handle`` hot
+    path (first entry preferred); what actually runs is negotiated with
+    the far side per connection, and a transport without the codec-aware
+    surface (``negotiate``/``exchange``) pins the conversation to legacy
+    JSON.  The stub counts its own payload traffic either way — see
+    :attr:`wire_stats`.
     """
 
     def __init__(
@@ -152,11 +285,21 @@ class RemoteBackendStub:
         config: "KyrixConfig",
         *,
         link: "SimulatedLink | None" = None,
+        codecs: tuple[str, ...] | None = None,
     ) -> None:
         self.transport = transport
         self._compiled = compiled
         self._config = config
         self.link = link
+        self.codecs = (
+            tuple(codecs)
+            if codecs
+            else (columnar.CODEC_BINARY, columnar.CODEC_JSON)
+        )
+        self._wire_lock = threading.Lock()
+        self._wire_calls = 0
+        self._wire_sent = 0
+        self._wire_received = 0
 
     @property
     def compiled(self) -> "CompiledApplication":
@@ -170,15 +313,33 @@ class RemoteBackendStub:
     def stats(self) -> Any:
         return self.link.stats if self.link is not None else None
 
+    @property
+    def wire_stats(self) -> WireStats:
+        """Payload traffic this stub has pushed through its transport."""
+        with self._wire_lock:
+            return WireStats(
+                calls=self._wire_calls,
+                bytes_sent=self._wire_sent,
+                bytes_received=self._wire_received,
+            )
+
     # -- the wire ---------------------------------------------------------------------
 
-    def _call(self, op: str, params: dict[str, Any]) -> Any:
-        payload = encode_envelope(op, params)
-        reply_text = self.transport.roundtrip(payload)
-        if self.link is not None:
-            # Charge the measured byte size of the reply (the request side
-            # is covered by the link's per-request overhead term).
-            self.link.charge_request(len(reply_text.encode("utf-8")))
+    def _count_wire(self, sent: int, received: int) -> None:
+        with self._wire_lock:
+            self._wire_calls += 1
+            self._wire_sent += sent + FRAME_HEADER.size
+            self._wire_received += received + FRAME_HEADER.size
+
+    def _select_codec(self) -> str:
+        """The codec the ``handle`` hot path uses on this transport."""
+        negotiate = getattr(self.transport, "negotiate", None)
+        if negotiate is None or columnar.CODEC_BINARY not in self.codecs:
+            return columnar.CODEC_JSON
+        return negotiate(self.codecs)
+
+    @staticmethod
+    def _parse_json_reply(reply_text: str) -> Any:
         reply = json.loads(reply_text)
         if not reply.get("ok", False):
             error = reply.get("error", {})
@@ -187,27 +348,72 @@ class RemoteBackendStub:
             )
         return reply["result"]
 
+    def _call(self, op: str, params: dict[str, Any]) -> Any:
+        payload = encode_envelope(op, params)
+        exchange = getattr(self.transport, "exchange", None)
+        if exchange is not None:
+            body = payload.encode("utf-8")
+            _, reply_body = exchange(columnar.CODEC_JSON, body)
+            self._count_wire(len(body), len(reply_body))
+            reply_text = reply_body.decode("utf-8")
+        else:
+            reply_text = self.transport.roundtrip(payload)
+            self._count_wire(
+                len(payload.encode("utf-8")), len(reply_text.encode("utf-8"))
+            )
+        if self.link is not None:
+            # Charge the measured byte size of the reply (the request side
+            # is covered by the link's per-request overhead term).
+            self.link.charge_request(len(reply_text.encode("utf-8")))
+        return self._parse_json_reply(reply_text)
+
+    def _handle_binary(
+        self, request: DataRequest, context: dict[str, Any] | None
+    ) -> tuple[DataResponse, list[dict[str, Any]] | None]:
+        body = columnar.encode_request(request, trace=context)
+        reply_codec, reply_body = self.transport.exchange(
+            columnar.CODEC_BINARY, body
+        )
+        self._count_wire(len(body), len(reply_body))
+        if self.link is not None:
+            self.link.charge_request(len(reply_body))
+        if reply_codec != columnar.CODEC_BINARY:
+            # The far side answered the binary request with a JSON envelope
+            # (an error from a codec-restricted endpoint): decode it the
+            # JSON way so the failure surfaces typed.
+            result = self._parse_json_reply(reply_body.decode("utf-8"))
+            remote_spans = result.pop("trace", None)
+            return DataResponse.from_dict(result), remote_spans
+        if columnar.message_kind(reply_body) == columnar.MSG_ERROR:
+            name, message = columnar.decode_error(reply_body)
+            raise TransportError(f"{name}: {message}")
+        return columnar.decode_response(reply_body)
+
     # -- DataService ------------------------------------------------------------------
 
     def handle(self, request: DataRequest) -> DataResponse:
         tracer = get_tracer()
         with tracer.span("rpc", op="handle") as span:
-            params = {"request": request.to_dict()}
+            # The trace context is stamped onto the wire form only — the
+            # caller's request object (and any cache keyed on it) never
+            # sees it.
             context = tracer.current_context()
-            if context is not None:
-                # Stamp the trace context onto the wire form only — the
-                # caller's request object (and any cache keyed on it) never
-                # sees it.
-                params["request"]["trace"] = context
-            result = self._call("handle", params)
-            remote_spans = result.pop("trace", None)
+            if self._select_codec() == columnar.CODEC_BINARY:
+                response, remote_spans = self._handle_binary(request, context)
+            else:
+                params = {"request": request.to_dict()}
+                if context is not None:
+                    params["request"]["trace"] = context
+                result = self._call("handle", params)
+                remote_spans = result.pop("trace", None)
+                response = DataResponse.from_dict(result)
             if remote_spans:
                 # Spans recorded on the far side come home inside the
                 # reply; draining them here keeps the decoded response
                 # byte-identical to an untraced one.
                 tracer.ingest(remote_spans)
                 span.set_attribute("remote_spans", len(remote_spans))
-            return DataResponse.from_dict(result)
+            return response
 
     def warm(self, request: DataRequest) -> None:
         self._call("warm", {"request": request.to_dict()})
@@ -233,15 +439,30 @@ class TransportService(ServiceMiddleware):
     :class:`RemoteBackendStub` (client side) around the inner service; a
     call entering this layer is encoded, decoded, served, re-encoded and
     re-decoded — byte-for-byte what a networked shard would do.
+
+    ``codecs`` (both the server's accepted set and the client's
+    preference — the pair shares one configuration, exactly like a worker
+    deployment rolled out from one config) defaults to the inner service's
+    ``config.cluster.wire_codec``.
     """
 
     def __init__(
-        self, inner: DataService, *, link: "SimulatedLink | None" = None
+        self,
+        inner: DataService,
+        *,
+        link: "SimulatedLink | None" = None,
+        codecs: tuple[str, ...] | None = None,
     ) -> None:
         super().__init__(inner)
-        self.transport = LocalTransport(inner)
+        if codecs is None:
+            try:
+                mode = inner.config.cluster.wire_codec
+            except AttributeError:
+                mode = "auto"
+            codecs = columnar.codec_preference(mode)
+        self.transport = LocalTransport(inner, codecs=codecs)
         self.stub = RemoteBackendStub(
-            self.transport, inner.compiled, inner.config, link=link
+            self.transport, inner.compiled, inner.config, link=link, codecs=codecs
         )
 
     @property
@@ -259,3 +480,22 @@ class TransportService(ServiceMiddleware):
 
     def layer_density(self, canvas_id: str, layer_index: int) -> float:
         return self.stub.layer_density(canvas_id, layer_index)
+
+
+def collect_wire_stats(service: DataService) -> WireStats:
+    """Sum the measured shard-boundary traffic of every stub in a stack.
+
+    Walks the stack like :func:`~repro.serving.base.stack_layers` and adds
+    up the :attr:`RemoteBackendStub.wire_stats` of every transport seam —
+    whether the stub sits inside a :class:`TransportService` (threads/wire
+    topologies) or terminates a branch directly (worker processes).
+    """
+    from .base import stack_layers
+
+    total = WireStats()
+    for layer in stack_layers(service):
+        if isinstance(layer, TransportService):
+            total = total + layer.stub.wire_stats
+        elif isinstance(layer, RemoteBackendStub):
+            total = total + layer.wire_stats
+    return total

@@ -350,3 +350,84 @@ class TestProtocolDrift:
                     return cls("x")
         """
         assert lint_source(source, path="tests/x/test_y.py", rule="protocol-drift") == []
+
+
+class TestProtocolDriftCodecCompanion:
+    """The registered codec module must cover its sibling dataclass fields.
+
+    These fixtures need *real* files: the checker reads the sibling
+    ``protocol.py`` from disk next to the codec module, so the usual
+    virtual-path ``lint_source`` fixture exercises only the graceful-skip
+    path (see the last test).
+    """
+
+    PROTOCOL = """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class DataRequest:
+            app_name: str
+            shard_id: int | None = None
+
+        @dataclass(frozen=True)
+        class DataResponse:
+            query_ms: float = 0.0
+    """
+
+    def _lint_codec(self, tmp_path, codec_source):
+        import textwrap
+
+        from repro.analysis import ModuleSource, all_rules
+        from repro.analysis.core import check_module
+
+        (tmp_path / "protocol.py").write_text(
+            textwrap.dedent(self.PROTOCOL), encoding="utf-8"
+        )
+        module = ModuleSource(
+            tmp_path / "columnar.py",
+            "src/repro/net/columnar.py",
+            text=textwrap.dedent(codec_source),
+        )
+        findings, _ = check_module(module, [all_rules()["protocol-drift"]()])
+        return findings
+
+    FULL_COVERAGE = """
+        def _pack_request(request):
+            return [request.app_name, request.shard_id]
+
+        def _unpack_request(row):
+            return dict(app_name=row[0], shard_id=row[1])
+
+        def encode_response(response):
+            return [response.query_ms]
+
+        def decode_response(body):
+            return dict(query_ms=body[0])
+    """
+
+    def test_silent_on_full_coverage(self, tmp_path):
+        assert self._lint_codec(tmp_path, self.FULL_COVERAGE) == []
+
+    def test_fires_on_field_missing_from_the_codec(self, tmp_path):
+        dropped = self.FULL_COVERAGE.replace(
+            "return [request.app_name, request.shard_id]",
+            "return [request.app_name]",
+        )
+        findings = self._lint_codec(tmp_path, dropped)
+        assert len(findings) == 1
+        assert "_pack_request" in findings[0].message
+        assert "shard_id" in findings[0].message
+
+    def test_fires_on_missing_codec_function(self, tmp_path):
+        missing = self.FULL_COVERAGE.replace("def decode_response", "def _renamed")
+        findings = self._lint_codec(tmp_path, missing)
+        assert len(findings) == 1
+        assert "must define decode_response()" in findings[0].message
+
+    def test_unreadable_sibling_skips_instead_of_fabricating(self, lint_source):
+        # Virtual paths have no protocol.py on disk: the companion check
+        # must skip, not invent findings about an unknown dataclass.
+        findings = lint_source(
+            "x = 1", path="src/repro/net/columnar.py", rule="protocol-drift"
+        )
+        assert findings == []

@@ -67,7 +67,16 @@ _scalar = st.one_of(
     st.booleans(),
     st.none(),
 )
-_value = st.one_of(_scalar, st.tuples(_floats, _floats, _floats, _floats))
+_bbox = st.tuples(_floats, _floats, _floats, _floats)
+# Nested sequences (e.g. a polygon column as a tuple of point pairs): the
+# canonical row form is tuples at *every* nesting depth, which decoding
+# must restore recursively.
+_nested = st.recursive(
+    _scalar,
+    lambda inner: st.lists(inner, min_size=0, max_size=3).map(tuple),
+    max_leaves=6,
+)
+_value = st.one_of(_scalar, _bbox, _nested)
 _objects = st.lists(
     st.dictionaries(_names, _value, min_size=0, max_size=5), min_size=0, max_size=5
 )

@@ -112,10 +112,44 @@ class TestStubAndLink:
         link = SimulatedLink(backend.config.network)
         service = TransportService(backend, link=link)
         response = service.handle(box_request)
+        assert response.objects
         assert link.stats.requests == 1
-        # The charged payload is the real reply encoding, so it is at least
-        # the size of the serialized objects.
+        # The charged payload is the real reply encoding (binary columnar
+        # under the default codec) plus the link's per-request overhead;
+        # the stub's own wire accounting sees the same reply plus the
+        # 4-byte frame header.
+        wire = service.stub.wire_stats
+        assert wire.calls == 1
+        reply_bytes = wire.bytes_received - 4
+        assert link.stats.bytes_transferred == (
+            reply_bytes + backend.config.network.request_overhead_bytes
+        )
+        assert service.stats is link.stats
+
+    def test_json_pinned_link_charges_the_json_reply(self, dots_stack, box_request):
+        backend = dots_stack.backend
+        backend.cache.clear()
+        link = SimulatedLink(backend.config.network)
+        service = TransportService(backend, link=link, codecs=("json",))
+        response = service.handle(box_request)
+        # Under the pinned JSON codec the charged reply wraps the full
+        # serialized objects, so it is at least that large.
         assert link.stats.bytes_transferred > len(
             json.dumps(response.objects).encode()
         )
-        assert service.stats is link.stats
+
+    def test_binary_reply_is_smaller_than_json(self, dots_stack, box_request):
+        backend = dots_stack.backend
+        backend.cache.clear()
+        binary_link = SimulatedLink(backend.config.network)
+        TransportService(backend, link=binary_link, codecs=("binary",)).handle(
+            box_request
+        )
+        backend.cache.clear()
+        json_link = SimulatedLink(backend.config.network)
+        TransportService(backend, link=json_link, codecs=("json",)).handle(
+            box_request
+        )
+        assert (
+            binary_link.stats.bytes_transferred < json_link.stats.bytes_transferred
+        )
