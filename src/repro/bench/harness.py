@@ -10,6 +10,7 @@ the footprint experiment (Figure 4) reports directly.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -137,6 +138,13 @@ def run_scheme_on_trace(
     ``config.cluster.enabled``, the cached backend otherwise.
     """
     _reset_serving_caches(stack)
+    # Collect pending garbage before the timed replay: the cache clears
+    # above (and whatever the surrounding process did before calling in)
+    # otherwise leave a full young generation behind, and the cyclic
+    # collector then runs *inside* the first few timed steps.  A gen-2
+    # pause on a large heap is tens of milliseconds — enough to invert a
+    # scheme comparison on the tiny test scale.
+    gc.collect()
     frontend = KyrixFrontend(
         stack.service if stack.service is not None else stack.backend,
         scheme,

@@ -52,6 +52,14 @@ beside the serving one, the router's shard table swaps atomically, and the
 old generation drains before closing, with byte-identical responses
 throughout.
 
+**Self-driving operation** (:mod:`~repro.cluster.autopilot`).  With
+``cluster.autopilot.enabled`` (or ``build_cluster(..., autopilot=True)``)
+a :class:`~repro.cluster.autopilot.ClusterAutopilot` background loop runs
+the whole feedback cycle unattended: cooldown/hysteresis-gated skew
+rebalances, shard-count autoscaling (2→4→8 under sustained load, back
+down when idle), replica autoscaling from per-replica pressure, and
+read-repair of replicas whose index checksums diverge.
+
 The router implements the :class:`~repro.serving.base.DataService`
 protocol, so ``KyrixFrontend`` / ``ExplorationSession`` drive a cluster
 exactly like a single backend; build the whole stack with
@@ -62,7 +70,14 @@ coalescing, parallel/wire flags);
 percentiles at 1/2/4/8 shards under concurrent pan workloads.
 """
 
-from .builder import ShardedCluster, build_cluster, replica_service, shard_service
+from .autopilot import AutopilotAction, ClusterAutopilot
+from .builder import (
+    ShardedCluster,
+    build_cluster,
+    replica_service,
+    replica_stack,
+    shard_service,
+)
 from .coalescer import CoalescerStats, RequestCoalescer
 from .partitioner import (
     BalancedKDPartitioner,
@@ -78,7 +93,9 @@ from .router import ClusterRouter, ClusterStats, ShardTable
 from .sharded import ShardedIndexer, ShardHandle
 
 __all__ = [
+    "AutopilotAction",
     "BalancedKDPartitioner",
+    "ClusterAutopilot",
     "ClusterRouter",
     "ClusterStats",
     "CoalescerStats",
@@ -97,5 +114,6 @@ __all__ = [
     "build_cluster",
     "make_partitioner",
     "replica_service",
+    "replica_stack",
     "shard_service",
 ]

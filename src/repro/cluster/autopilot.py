@@ -1,0 +1,528 @@
+"""The self-driving control loop: observe, decide, act — continuously.
+
+Everything the cluster can already do on demand — online rebalancing
+(:mod:`repro.cluster.rebalancer`), shard-count changes, replica-count
+changes, replica swaps (:meth:`~repro.serving.replica.ReplicaService.swap_replica`)
+— this module does *unattended*.  A :class:`ClusterAutopilot` runs one
+control pass (:meth:`~ClusterAutopilot.tick`) on a fixed interval from a
+background daemon thread and steers the cluster through four policies:
+
+1. **Skew rebalancing** — when per-shard traffic skew crosses the
+   rebalancer's threshold, trigger a load-weighted re-split.  Guarded by
+   a *cooldown* (at most one migration per window) and *hysteresis* (a
+   migration disarms the trigger; it re-arms once skew falls below
+   ``threshold - hysteresis``, or — the persistent-skew escape hatch —
+   after ``rearm_windows`` full cooldown windows if skew never left the
+   band, so one bad split cannot disarm the loop forever), so an
+   oscillating hotspot cannot thrash the cluster with back-to-back
+   migrations.
+2. **Shard autoscaling** — sustained volume doubles the shard count
+   (2→4→8, clamped to ``[min_shards, max_shards]``); a configurable run
+   of idle ticks halves it.  Decisions delegate to
+   :meth:`~repro.cluster.rebalancer.LoadRebalancer.propose_shard_count`.
+3. **Replica autoscaling** — per-replica attempt pressure above
+   ``replica_pressure`` adds a replica per shard (up to ``max_replicas``);
+   the idle path drops back to one.
+4. **Read-repair** — when per-replica index checksums disagree
+   (:meth:`~repro.cluster.router.ClusterStats.divergent_replicas`), the
+   diverged replica is rebuilt from the cluster's source backend and
+   swapped in behind a fresh circuit breaker while its siblings keep
+   serving; in-flight requests drain on the old replica before it closes.
+   Repair is *not* cooldown-gated — divergence is a correctness problem,
+   not a load problem.
+
+The clock is pluggable (anything with ``now_ms``), so tests drive
+cooldown windows deterministically with
+:class:`~repro.metrics.timer.VirtualClock` and call :meth:`tick` directly
+instead of sleeping against the real thread.  Every pass runs under an
+``autopilot_tick`` span and every action bumps the ``autopilot_actions``
+telemetry counter (plus a per-kind counter), so ``/metrics`` shows what
+the loop has been deciding.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter as TallyCounter
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..config import AutopilotConfig
+from ..errors import KyrixError
+from ..net.columnar import codec_preference
+from ..serving.replica import MonotonicClock, ReplicaService
+from ..serving.transport import RemoteBackendStub
+from ..serving.worker import build_shard_spec, database_checksum
+from ..telemetry import get_registry, get_tracer
+from .rebalancer import LoadRebalancer, RebalanceReport
+from .sharded import ShardedIndexer
+
+if TYPE_CHECKING:
+    from .builder import ShardedCluster
+
+
+def _replica_index(key: str) -> int:
+    """The replica index back out of a ``"shard{S}/replica{R}"`` key."""
+    return int(key.rsplit("replica", 1)[1])
+
+
+def _window_skew(window: dict[int, int]) -> float:
+    """``max / mean`` over one pass's per-shard request counts."""
+    total = sum(window.values())
+    if not window or total <= 0:
+        return 1.0
+    return max(window.values()) / (total / len(window))
+
+
+@dataclass
+class AutopilotAction:
+    """One decision the control loop acted on (or explicitly skipped)."""
+
+    #: ``"rebalance"`` / ``"grow"`` / ``"shrink"`` / ``"replica_scale"`` /
+    #: ``"read_repair"`` / ``"repair_skipped"`` / ``"error"``.
+    kind: str
+    #: The control pass that produced it (1-based).
+    tick: int
+    #: Autopilot-clock timestamp of the decision.
+    at_ms: float
+    detail: dict[str, Any] = field(default_factory=dict)
+    #: The migration report, for actions that swapped the shard table.
+    report: RebalanceReport | None = field(default=None, repr=False)
+
+    def describe(self) -> dict[str, Any]:
+        described: dict[str, Any] = {"kind": self.kind, "tick": self.tick}
+        described.update(self.detail)
+        if self.report is not None:
+            described["report"] = self.report.describe()
+        return described
+
+
+class ClusterAutopilot:
+    """Background controller that keeps one cluster balanced and healthy.
+
+    Construct over a built :class:`~repro.cluster.builder.ShardedCluster`
+    (``build_cluster(..., autopilot=True)`` does this and calls
+    :meth:`start`).  The loop itself is just :meth:`tick` on a timer:
+    tests call :meth:`tick` directly — with a
+    :class:`~repro.metrics.timer.VirtualClock` — and never need the
+    thread.  All decision state lives behind one lock, so a manual tick
+    and the background thread never interleave mid-pass.
+    """
+
+    def __init__(
+        self,
+        cluster: "ShardedCluster",
+        *,
+        config: AutopilotConfig | None = None,
+        clock: Any = None,
+        rebalancer: LoadRebalancer | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.router = cluster.router
+        self.config = config or self.router.cluster_config.autopilot
+        self.config.validate()
+        self.rebalancer = rebalancer or cluster.rebalancer or LoadRebalancer(cluster)
+        self.clock = clock or MonotonicClock()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._tick_count = 0
+        self._armed = True
+        self._idle_ticks = 0
+        self._last_migration_ms: float | None = None
+        self._last_loads: dict[int, int] = {}
+        self._last_attempts = 0
+        self._actions: deque[AutopilotAction] = deque(maxlen=256)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> "ClusterAutopilot":
+        """Start the background control thread (idempotent)."""
+        with self._lock:
+            if self._thread is None:
+                self._stop.clear()
+                self._thread = threading.Thread(
+                    target=self._run, name="kyrix-autopilot", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the control thread; a mid-flight pass finishes first."""
+        self._stop.set()
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=60.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.config.interval_s):
+            try:
+                self.tick()
+            except Exception as error:  # pragma: no cover - defensive loop guard
+                self._actions.append(
+                    AutopilotAction(
+                        kind="error",
+                        tick=self._tick_count,
+                        at_ms=self.clock.now_ms,
+                        detail={"error": f"{type(error).__name__}: {error}"},
+                    )
+                )
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def actions(self) -> list[AutopilotAction]:
+        """The retained action log (oldest first, bounded)."""
+        with self._lock:
+            return list(self._actions)
+
+    def action_counts(self) -> dict[str, int]:
+        """``{kind: count}`` over the retained action log."""
+        return dict(TallyCounter(action.kind for action in self.actions))
+
+    def describe(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "ticks": self._tick_count,
+                "armed": self._armed,
+                "idle_ticks": self._idle_ticks,
+                "shard_count": self.router.shard_count,
+                "replicas": self.router.cluster_config.replicas,
+                "actions": dict(
+                    TallyCounter(action.kind for action in self._actions)
+                ),
+            }
+
+    # -- the control pass --------------------------------------------------------------
+
+    def tick(self) -> list[AutopilotAction]:
+        """Run one synchronous control pass; returns the actions it took.
+
+        Order inside a pass: read-repair first (correctness, never
+        cooldown-gated), then at most **one** migration decision —
+        grow/shrink beats skew-rebalance beats replica scaling — gated by
+        the cooldown window.
+        """
+        registry = get_registry()
+        tracer = get_tracer()
+        with self._lock:
+            self._tick_count += 1
+            tick = self._tick_count
+            now = self.clock.now_ms
+            actions: list[AutopilotAction] = []
+            with tracer.span("autopilot_tick", tick=tick) as span:
+                if self.config.read_repair:
+                    actions.extend(self._read_repair_pass(tick, now))
+
+                loads = self.rebalancer.shard_loads()
+                if any(
+                    loads.get(shard_id, 0) < count
+                    for shard_id, count in self._last_loads.items()
+                ):
+                    # A swap cleared the counters since the last pass.
+                    window = dict(loads)
+                else:
+                    window = {
+                        shard_id: count - self._last_loads.get(shard_id, 0)
+                        for shard_id, count in loads.items()
+                    }
+                delta = sum(window.values())
+                attempts = self._replica_attempts()
+                attempt_delta = attempts - self._last_attempts
+                if attempt_delta < 0:
+                    attempt_delta = attempts
+                # Skew over *this pass's* traffic, not the cumulative
+                # counters: a control loop must react to what the load is
+                # doing now, and hysteresis must be able to re-arm once a
+                # hotspot genuinely dissipates — cumulative history would
+                # pin the old skew forever.
+                skew = _window_skew(window)
+                span.add_event(
+                    "observed", skew=round(skew, 3), requests=delta, tick=tick
+                )
+
+                if self._idle_ticks_qualify(delta):
+                    self._idle_ticks += 1
+                else:
+                    self._idle_ticks = 0
+                if not self._armed and self._should_rearm(skew, now):
+                    self._armed = True
+
+                cooled = (
+                    self._last_migration_ms is None
+                    or now - self._last_migration_ms
+                    >= self.config.cooldown_s * 1000.0
+                )
+                decision = self._decide(delta, attempt_delta, skew)
+                if decision is not None and cooled:
+                    kind, target_shards, target_replicas = decision
+                    report = self.rebalancer.rebalance(
+                        target_shards, replicas=target_replicas, reason=kind
+                    )
+                    action = AutopilotAction(
+                        kind=kind,
+                        tick=tick,
+                        at_ms=now,
+                        detail={
+                            "shards": f"{report.shard_count_before}->"
+                            f"{report.shard_count_after}",
+                            "replicas": target_replicas,
+                            "skew": round(skew, 3),
+                            "swapped": report.swapped,
+                        },
+                        report=report,
+                    )
+                    actions.append(action)
+                    if report.swapped:
+                        self._last_migration_ms = now
+                        self._armed = False
+                        self._idle_ticks = 0
+                        # The swap cleared the traffic counters.
+                        loads = {}
+                        attempts = 0
+
+                self._last_loads = dict(loads)
+                self._last_attempts = attempts
+                for action in actions:
+                    self._actions.append(action)
+                    registry.counter("autopilot_actions").bump()
+                    registry.counter(f"autopilot_{action.kind}").bump()
+                    span.add_event(f"autopilot_{action.kind}", **action.detail)
+            return actions
+
+    def _idle_ticks_qualify(self, delta: int) -> bool:
+        return delta <= self.config.shrink_requests
+
+    def _should_rearm(self, skew: float, now: float) -> bool:
+        """Whether the disarmed skew trigger may fire again.
+
+        Two ways back: the hysteresis band (skew fell clearly below the
+        trigger — the hotspot dissipated or the split fixed it), or the
+        persistent-skew escape hatch (``rearm_windows`` full cooldown
+        windows passed with skew still in the band — the previous split
+        demonstrably did not fix it, and retrying with a fresher load
+        histogram is convergence, not thrash).
+        """
+        if skew < self.rebalancer.skew_threshold - self.config.hysteresis:
+            return True
+        return (
+            self._last_migration_ms is not None
+            and now - self._last_migration_ms
+            >= self.config.rearm_windows * self.config.cooldown_s * 1000.0
+        )
+
+    def _replica_attempts(self) -> int:
+        """Total per-replica attempts recorded since the last swap."""
+        router = self.router
+        # Summing needs a consistent iteration; per-replica keys appear as
+        # replicas first take traffic, so iterate under the stats lock.
+        with router._stats_lock:
+            return sum(router.stats.per_replica_requests.values())
+
+    def _decide(
+        self, delta: int, attempt_delta: int, skew: float
+    ) -> tuple[str, int, int] | None:
+        """Pick at most one migration for this pass (kind, shards, replicas)."""
+        cfg = self.config
+        current = self.router.shard_count
+        replicas = self.router.cluster_config.replicas
+        idle = self._idle_ticks >= cfg.shrink_idle_ticks
+        target = self.rebalancer.propose_shard_count(
+            delta,
+            min_shards=cfg.min_shards,
+            max_shards=cfg.max_shards,
+            grow_requests=cfg.grow_requests,
+            # Halving only after a sustained idle run, not one quiet tick.
+            shrink_requests=cfg.shrink_requests if idle else -1,
+        )
+        if target > current:
+            return ("grow", target, replicas)
+        if target < current:
+            # Shrinking shards also folds replicas back to one: an idle
+            # cluster needs neither the capacity nor the redundancy cost.
+            return ("shrink", target, 1 if replicas > 1 else replicas)
+        if idle and replicas > 1:
+            return ("replica_scale", current, replicas - 1)
+        if (
+            self._armed
+            and current >= 2
+            and skew >= self.rebalancer.skew_threshold
+            and delta >= self.rebalancer.min_requests
+        ):
+            return ("rebalance", current, replicas)
+        slots = max(1, current * replicas)
+        # Process/replica topologies report per-attempt counts; plain
+        # thread shards do not, so fall back to the scatter volume.
+        pressure = (attempt_delta or delta) / slots
+        if pressure >= cfg.replica_pressure and replicas < cfg.max_replicas:
+            return ("replica_scale", current, replicas + 1)
+        return None
+
+    # -- read-repair -------------------------------------------------------------------
+
+    def _read_repair_pass(self, tick: int, now: float) -> list[AutopilotAction]:
+        """Rebuild and swap every replica whose index checksum diverged."""
+        router = self.router
+        actions: list[AutopilotAction] = []
+        divergent = router.divergent_replicas()
+        if not divergent:
+            return actions
+        replica_sets = router.replica_sets()
+        for shard_id in sorted(divergent):
+            checksums = divergent[shard_id]
+            replica_set = replica_sets.get(shard_id)
+            if replica_set is None:
+                actions.append(
+                    AutopilotAction(
+                        kind="repair_skipped",
+                        tick=tick,
+                        at_ms=now,
+                        detail={"shard": shard_id, "why": "no_replica_set"},
+                    )
+                )
+                continue
+            if self.cluster.worker_pool is not None:
+                repaired = self._repair_process_shard(
+                    shard_id, checksums, replica_set
+                )
+            else:
+                repaired = self._repair_thread_shard(
+                    shard_id, checksums, replica_set
+                )
+            for detail in repaired:
+                actions.append(
+                    AutopilotAction(
+                        kind="read_repair", tick=tick, at_ms=now, detail=detail
+                    )
+                )
+        return actions
+
+    def _repair_process_shard(
+        self,
+        shard_id: int,
+        checksums: dict[str, str],
+        replica_set: ReplicaService,
+    ) -> list[dict[str, Any]]:
+        """Respawn diverged worker replicas from a freshly re-sharded spec.
+
+        The shard is rebuilt from the cluster's source backend under the
+        *current* partitionings (repair must not move shard boundaries),
+        giving both the replacement index and the ground-truth checksum
+        to repair against.
+        """
+        router = self.router
+        cluster = self.cluster
+        if cluster.source is None:
+            raise KyrixError(
+                "read-repair needs the cluster's source backend "
+                "(build the cluster with build_cluster / build_service)"
+            )
+        pool = cluster.worker_pool
+        codecs = codec_preference(router.cluster_config.wire_codec)
+        indexer = ShardedIndexer(
+            cluster.source.database,
+            router.compiled,
+            router.config,
+            cluster_config=router.cluster_config,
+        )
+        shards, _ = indexer.build_shards(
+            dict(cluster.partitionings), tile_sizes=cluster.tile_sizes
+        )
+        repaired: list[dict[str, Any]] = []
+        try:
+            target = next(
+                shard for shard in shards if shard.shard_id == shard_id
+            )
+            spec = build_shard_spec(
+                target.database,
+                router.compiled,
+                router.config,
+                shard_id=shard_id,
+                codecs=codecs,
+            )
+            expected = spec.checksum()
+            for key in sorted(checksums):
+                if checksums[key] == expected:
+                    continue
+                replica_index = _replica_index(key)
+                handle = pool.respawn(spec, replica_index=replica_index)
+                stub = RemoteBackendStub(
+                    handle.transport(),
+                    router.compiled,
+                    router.config,
+                    codecs=codecs,
+                )
+                replica_set.swap_replica(
+                    replica_index,
+                    stub,
+                    drain_timeout_s=router.cluster_config.rebalance_drain_timeout_s,
+                )
+                router.record_replica_checksum(
+                    shard_id, replica_index, handle.checksum
+                )
+                repaired.append(
+                    {
+                        "shard": shard_id,
+                        "replica": replica_index,
+                        "was": checksums[key],
+                        "now": handle.checksum,
+                        "healthy": handle.checksum == expected,
+                    }
+                )
+        finally:
+            for shard in shards:
+                shard.close()
+        return repaired
+
+    def _repair_thread_shard(
+        self,
+        shard_id: int,
+        checksums: dict[str, str],
+        replica_set: ReplicaService,
+    ) -> list[dict[str, Any]]:
+        """Rebuild diverged in-process replica stacks over the shared index.
+
+        Thread replicas share the shard's immutable database, so the
+        database's own hash is the ground truth; a diverged entry means
+        the *stack* (or its recorded hash) is suspect, and repair is a
+        fresh stack plus a truthful re-recorded checksum.
+        """
+        from .builder import replica_stack
+
+        router = self.router
+        shard = next(
+            (s for s in router.shards if s.shard_id == shard_id), None
+        )
+        if shard is None or shard.database is None:
+            return []
+        expected = database_checksum(shard.database)
+        codecs = codec_preference(router.cluster_config.wire_codec)
+        repaired: list[dict[str, Any]] = []
+        for key in sorted(checksums):
+            if checksums[key] == expected:
+                continue
+            replica_index = _replica_index(key)
+            replacement = replica_stack(
+                shard,
+                router.config,
+                wire=router.cluster_config.wire_shards,
+                codecs=codecs,
+            )
+            replica_set.swap_replica(
+                replica_index,
+                replacement,
+                drain_timeout_s=router.cluster_config.rebalance_drain_timeout_s,
+            )
+            router.record_replica_checksum(shard_id, replica_index, expected)
+            repaired.append(
+                {
+                    "shard": shard_id,
+                    "replica": replica_index,
+                    "was": checksums[key],
+                    "now": expected,
+                    "healthy": True,
+                }
+            )
+        return repaired

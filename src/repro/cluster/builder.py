@@ -24,6 +24,7 @@ from .router import ClusterRouter, replica_key
 from .sharded import ShardedIndexer, ShardHandle
 
 if TYPE_CHECKING:
+    from .autopilot import ClusterAutopilot
     from .rebalancer import LoadRebalancer
 
 
@@ -49,6 +50,9 @@ class ShardedCluster:
     #: The attached load rebalancer, when ``cluster.rebalance_enabled``
     #: (or the ``rebalance=`` build override) asked for one.
     rebalancer: "LoadRebalancer | None" = field(default=None, repr=False)
+    #: The running control loop, when ``cluster.autopilot.enabled`` (or
+    #: the ``autopilot=`` build override) asked for one.
+    autopilot: "ClusterAutopilot | None" = field(default=None, repr=False)
 
     @property
     def shard_count(self) -> int:
@@ -61,7 +65,14 @@ class ShardedCluster:
         return description
 
     def close(self) -> None:
+        # router.close() parks the autopilot before tearing anything down
+        # (so a mid-flight control pass cannot race the teardown) and then
+        # drains the worker pool; the explicit calls here keep close()
+        # correct for callers holding a cluster whose router was already
+        # closed independently.
         self.router.close()
+        if self.autopilot is not None:
+            self.autopilot.close()
         if self.worker_pool is not None:
             self.worker_pool.close()
 
@@ -82,6 +93,29 @@ def shard_service(
     not necessarily the backend's own).
     """
     stack: DataService = SerializedService(shard.backend, lock=shard.lock)
+    if wire:
+        stack = TransportService(stack, codecs=codecs)
+    return stack
+
+
+def replica_stack(
+    shard: ShardHandle,
+    config: "KyrixConfig",
+    *,
+    wire: bool,
+    codecs: tuple[str, ...] | None = None,
+) -> DataService:
+    """One in-process replica's serving stack over a shard's shared index.
+
+    The unit :func:`replica_service` composes N of — and the rebuild seam
+    the autopilot's read-repair uses to replace a single diverged replica
+    without touching its siblings.
+    """
+    cache_entries = config.cache.backend_entries if config.cache.enabled else 0
+    stack: DataService = SerializedService(
+        shard.backend.query_service(), lock=shard.lock
+    )
+    stack = CachingService(stack, entries=cache_entries)
     if wire:
         stack = TransportService(stack, codecs=codecs)
     return stack
@@ -109,16 +143,10 @@ def replica_service(
     in-process stand-in for each replica process owning a copy of the
     index).
     """
-    cache_entries = config.cache.backend_entries if config.cache.enabled else 0
-    replicas: list[DataService] = []
-    for _ in range(cluster_config.replicas):
-        stack: DataService = SerializedService(
-            shard.backend.query_service(), lock=shard.lock
-        )
-        stack = CachingService(stack, entries=cache_entries)
-        if wire:
-            stack = TransportService(stack, codecs=codecs)
-        replicas.append(stack)
+    replicas: list[DataService] = [
+        replica_stack(shard, config, wire=wire, codecs=codecs)
+        for _ in range(cluster_config.replicas)
+    ]
     return ReplicaService(
         replicas,
         policy=cluster_config.replica_policy,
@@ -279,6 +307,7 @@ def build_cluster(
     worker_mode: str | None = None,
     wire_codec: str | None = None,
     rebalance: bool | None = None,
+    autopilot: bool | None = None,
     telemetry: bool | None = None,
     tile_sizes: tuple[int, ...] = (),
 ) -> ShardedCluster:
@@ -294,7 +323,13 @@ def build_cluster(
     (see :mod:`repro.serving.worker`).  With ``rebalance=True`` (or
     ``cluster.rebalance_enabled``) the cluster carries a ready-to-use
     :class:`~repro.cluster.rebalancer.LoadRebalancer` as
-    ``cluster.rebalancer``.
+    ``cluster.rebalancer``.  With ``autopilot=True`` (or
+    ``cluster.autopilot.enabled``) a
+    :class:`~repro.cluster.autopilot.ClusterAutopilot` background control
+    loop is attached *and started*: it snapshots load, rebalances,
+    autoscales shard/replica counts and read-repairs diverged replicas on
+    its own, and stops automatically when the cluster (or the router, via
+    ``build_service`` stacks) closes.
 
     ``telemetry`` overrides ``config.telemetry.enabled`` for this build:
     the effective configuration (with the flag folded in) is what the
@@ -324,6 +359,10 @@ def build_cluster(
         )
         if value is not None
     }
+    if autopilot is not None and autopilot != cluster_config.autopilot.enabled:
+        overrides["autopilot"] = replace(
+            cluster_config.autopilot, enabled=autopilot
+        )
     if overrides:
         cluster_config = replace(cluster_config, **overrides)
         cluster_config.validate()
@@ -368,10 +407,15 @@ def build_cluster(
     from ..serving.factory import mark_factory_built
 
     mark_factory_built(router)
-    if cluster_config.rebalance_enabled:
+    if cluster_config.rebalance_enabled or cluster_config.autopilot.enabled:
         # Local import: the rebalancer composes builder pieces, so a
-        # top-level import would be circular.
+        # top-level import would be circular.  The autopilot steers the
+        # cluster *through* the rebalancer, so enabling it implies one.
         from .rebalancer import LoadRebalancer
 
         cluster.rebalancer = LoadRebalancer(cluster)
+    if cluster_config.autopilot.enabled:
+        from .autopilot import ClusterAutopilot
+
+        cluster.autopilot = ClusterAutopilot(cluster).start()
     return cluster

@@ -160,6 +160,35 @@ class LoadRebalancer:
             return False
         return self.skew() >= self.skew_threshold
 
+    def propose_shard_count(
+        self,
+        requests_per_tick: float,
+        *,
+        min_shards: int = 1,
+        max_shards: int = 8,
+        grow_requests: int = 256,
+        shrink_requests: int = 8,
+    ) -> int:
+        """The shard count the observed traffic volume argues for.
+
+        Pure decision, no migration: sustained load (at least
+        ``grow_requests`` scatter-gathers in the window) doubles the
+        count, an idle window (at most ``shrink_requests``) halves it,
+        anything in between keeps it — always clamped into
+        ``[min_shards, max_shards]``.  Doubling/halving (2→4→8 rather
+        than 2→3→4) keeps each step a genuine capacity change, so the
+        autoscaler cannot creep one shard at a time around its own
+        cooldown.
+        """
+        current = self.router.shard_count
+        if requests_per_tick >= grow_requests:
+            proposed = current * 2
+        elif requests_per_tick <= shrink_requests:
+            proposed = current // 2
+        else:
+            proposed = current
+        return max(min_shards, min(max_shards, proposed))
+
     # -- migrating ---------------------------------------------------------------------
 
     def repartition(
@@ -187,28 +216,46 @@ class LoadRebalancer:
             return None
         return self.rebalance(shard_count)
 
-    def rebalance(self, shard_count: int | None = None) -> RebalanceReport:
+    def rebalance(
+        self,
+        shard_count: int | None = None,
+        *,
+        replicas: int | None = None,
+        reason: str = "rebalanced",
+    ) -> RebalanceReport:
         """Build a load-weighted shard set and swap it in online.
 
         ``shard_count`` defaults to the current count (a pure re-split);
-        passing a different count re-scales the cluster in the same swap.
+        passing a different count re-scales the cluster in the same swap,
+        and ``replicas`` likewise re-scales the per-shard replica count
+        (the new generation builds with it, and the router's effective
+        cluster config is updated so later decisions see it).  ``reason``
+        labels the resulting :class:`RebalanceReport` (the autopilot
+        stamps ``"grow"`` / ``"shrink"`` / ``"replica_scale"`` here).
         Requests keep being served by the old generation for the whole
         build; the swap itself is one atomic table replacement, after
         which the old generation drains and closes.
         """
         with self._migrate_lock:
-            return self._rebalance_locked(shard_count)
+            return self._rebalance_locked(shard_count, replicas, reason)
 
-    def _rebalance_locked(self, shard_count: int | None) -> RebalanceReport:
+    def _rebalance_locked(
+        self, shard_count: int | None, replicas: int | None, reason: str
+    ) -> RebalanceReport:
         router = self.router
         cluster = self.cluster
         old_count = router.shard_count
         new_count = shard_count or old_count
         if new_count < 1:
             raise KyrixError(f"shard_count must be >= 1, got {new_count}")
+        new_replicas = replicas or router.cluster_config.replicas
         skew_before = self.skew()
         loads_before = self.shard_loads()
-        if old_count == 1 and new_count == 1:
+        if (
+            old_count == 1
+            and new_count == 1
+            and new_replicas == router.cluster_config.replicas
+        ):
             # Single-shard no-op: there is nothing to move load between.
             return RebalanceReport(
                 swapped=False,
@@ -220,7 +267,10 @@ class LoadRebalancer:
                 per_shard_requests=loads_before,
             )
 
-        cluster_config = replace(router.cluster_config, shard_count=new_count)
+        cluster_config = replace(
+            router.cluster_config, shard_count=new_count, replicas=new_replicas
+        )
+        cluster_config.validate()
         source = cluster.source
         partitionings = self.repartition(new_count)
 
@@ -273,13 +323,15 @@ class LoadRebalancer:
         drain_ms = drain_timer.stop()
 
         # Keep the cluster handle's bookkeeping pointing at the live
-        # generation (benchmarks and tests read cluster.shards).
+        # generation (benchmarks and tests read cluster.shards), and the
+        # router's effective config on the replica count it now serves.
         cluster.shards = shards
         cluster.partitionings = partitionings
         cluster.worker_pool = pool
+        router.cluster_config = cluster_config
         return RebalanceReport(
             swapped=True,
-            reason="rebalanced",
+            reason=reason,
             epoch=router.epoch,
             skew_before=skew_before,
             shard_count_before=old_count,

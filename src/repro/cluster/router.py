@@ -369,6 +369,12 @@ class ClusterRouter:
 
     def close(self) -> None:
         """Shut down the scatter executor, shard stacks and worker processes."""
+        # Stop the autopilot first: its control loop calls back into the
+        # router (rebalances, replica swaps), so it must be parked before
+        # the serving structures it steers are torn down.
+        autopilot = getattr(self.cluster, "autopilot", None)
+        if autopilot is not None:
+            autopilot.close()
         with self._executor_lock:
             executor, self._executor = self._executor, None
             self._closed = True
@@ -411,9 +417,11 @@ class ClusterRouter:
         (``per_shard_requests`` / ``fanout`` / ``per_replica_*``) are
         cleared: shard ids name *regions*, and the new generation's
         regions are different objects — mixing the two would make the
-        post-rebalance skew unreadable.  ``replica_checksums`` is replaced
-        with the new generation's hashes and ``rebalance_epochs``
-        increments.
+        post-rebalance skew unreadable.  The per-canvas load histograms
+        reset for the same reason: the next split must be driven by
+        traffic on the new boundaries, not by the hotspot this swap just
+        resolved.  ``replica_checksums`` is replaced with the new
+        generation's hashes and ``rebalance_epochs`` increments.
         """
         if not shards:
             raise FetchError("a rebalance needs at least one shard")
@@ -455,6 +463,14 @@ class ClusterRouter:
                 self.stats.per_replica_requests.clear()
                 self.stats.per_replica_failures.clear()
                 self.stats.replica_checksums = dict(replica_checksums or {})
+            # The load histograms drove the split that produced this
+            # generation; the *next* boundary decision must be shaped by
+            # traffic the new boundaries actually see, not by hotspots
+            # this swap already resolved — a stale histogram would pin
+            # every future split onto the old hot region.
+            with self._load_lock:
+                for canvas_id, load in self.canvas_loads.items():
+                    self.canvas_loads[canvas_id] = LoadHistogram(load.limit)
         if executor is not None:
             # Old-generation scatters may still hold futures; wait=False
             # lets them finish on the dying executor while new requests
@@ -486,6 +502,27 @@ class ClusterRouter:
         table.close()
         return drained
 
+    def divergent_replicas(self) -> dict[int, dict[str, str]]:
+        """A consistent snapshot of :meth:`ClusterStats.divergent_replicas`."""
+        with self._stats_lock:
+            return self.stats.divergent_replicas()
+
+    def record_replica_checksum(
+        self, shard_id: int, replica_index: int, checksum: str
+    ) -> str:
+        """Record one replica's index hash; returns the previous one.
+
+        The write seam read-repair (and the :func:`~repro.serving.faults.diverge_replica`
+        test seam) go through, so checksum updates happen under the same
+        lock every other stats mutation takes.  Returns the hash the entry
+        previously held (empty string when none was recorded).
+        """
+        key = replica_key(shard_id, replica_index)
+        with self._stats_lock:
+            previous = self.stats.replica_checksums.get(key, "")
+            self.stats.replica_checksums[key] = checksum
+        return previous
+
     def load_snapshot(self) -> dict[str, LoadHistogram]:
         """A copy of the per-canvas request-load histograms (for rebalancing)."""
         with self._load_lock:
@@ -501,9 +538,13 @@ class ClusterRouter:
             return None
         with self._executor_lock:
             if self._executor is None and not self._closed:
+                # ``max_parallel_shards`` is the documented pool size; it
+                # may exceed the shard count on purpose — concurrent
+                # sessions each fan out, so an operator sizes the pool
+                # for clients x shards, not for one scatter at a time.
                 workers = self.cluster_config.max_parallel_shards or self.shard_count
                 self._executor = ThreadPoolExecutor(
-                    max_workers=min(workers, self.shard_count),
+                    max_workers=workers,
                     thread_name_prefix="kyrix-shard",
                 )
             return self._executor

@@ -116,6 +116,115 @@ class PrefetchConfig:
 #: (:class:`~repro.serving.replica.ReplicaService` re-exports this).
 REPLICA_POLICIES = ("round_robin", "least_inflight", "per_key_affinity")
 
+
+@dataclass
+class AutopilotConfig:
+    """Configuration of the self-driving control loop (:mod:`repro.cluster.autopilot`).
+
+    Attributes
+    ----------
+    enabled:
+        When true, :func:`repro.cluster.builder.build_cluster` attaches a
+        running :class:`~repro.cluster.autopilot.ClusterAutopilot` to the
+        built cluster: a background daemon thread that periodically
+        snapshots load skew and replica health, triggers online rebalances,
+        autoscales the shard and replica counts, and read-repairs divergent
+        replicas.  Off by default — nothing moves unless asked to.
+    interval_s:
+        Seconds between control-loop ticks (wall-clock, for the background
+        thread; tests drive :meth:`~repro.cluster.autopilot.ClusterAutopilot.tick`
+        directly on a :class:`~repro.metrics.timer.VirtualClock`).
+    cooldown_s:
+        Minimum clock time between two autopilot *migrations* (rebalance,
+        grow, shrink, replica re-scale).  Damping: however noisy the load
+        signal, topology changes cannot happen more often than this.
+    hysteresis:
+        Re-arm band below the skew threshold.  After a skew-triggered
+        migration the loop is *disarmed* and stays disarmed until observed
+        skew falls below ``rebalance_skew_threshold - hysteresis`` — a
+        hotspot oscillating right at the threshold therefore produces at
+        most one migration per cooldown window instead of thrashing.
+    rearm_windows:
+        Persistent-skew escape hatch for the hysteresis disarm: when skew
+        *never* leaves the trigger band (the previous migration did not
+        fix it, e.g. it split on a stale load histogram), the loop re-arms
+        anyway after this many cooldown windows and retries with fresher
+        load data.  Without it a single bad split would disarm the
+        autopilot forever; with it, retries still pace at a multiple of
+        the cooldown, so the thrash bound holds.
+    min_shards / max_shards:
+        Bounds of the shard-count autoscaler (grow doubles, shrink halves,
+        always clamped into ``[min_shards, max_shards]``).
+    grow_requests:
+        Scatter-gathers per tick above which traffic counts as sustained
+        load and the shard count grows (2→4→8 under a heavy workload).
+    shrink_idle_ticks:
+        Consecutive idle ticks (fewer than ``shrink_requests`` scatters
+        each) after which the shard count shrinks toward ``min_shards``.
+    shrink_requests:
+        Scatter-gathers per tick at or below which a tick counts as idle.
+    replica_pressure:
+        Mean per-replica attempts per tick above which every shard gains a
+        replica (capped at ``max_replicas``); an idle shrink drops the
+        replica count back toward 1.
+    max_replicas:
+        Upper bound of the replica autoscaler.
+    read_repair:
+        When true, a tick that finds
+        :meth:`~repro.cluster.router.ClusterStats.divergent_replicas`
+        non-empty rebuilds each flagged replica from a fresh
+        :class:`~repro.serving.worker.ShardSpec` and swaps it in behind
+        its circuit breaker without dropping in-flight requests.
+    """
+
+    enabled: bool = False
+    interval_s: float = 5.0
+    cooldown_s: float = 30.0
+    hysteresis: float = 0.25
+    rearm_windows: int = 2
+    min_shards: int = 1
+    max_shards: int = 8
+    grow_requests: int = 256
+    shrink_idle_ticks: int = 3
+    shrink_requests: int = 8
+    replica_pressure: int = 128
+    max_replicas: int = 4
+    read_repair: bool = True
+
+    def validate(self) -> None:
+        if self.interval_s <= 0:
+            raise KyrixError("autopilot interval_s must be positive")
+        if self.cooldown_s < 0:
+            raise KyrixError("autopilot cooldown_s must be non-negative")
+        if self.hysteresis < 0:
+            raise KyrixError("autopilot hysteresis must be non-negative")
+        if self.rearm_windows < 1:
+            raise KyrixError("autopilot rearm_windows must be >= 1")
+        if self.min_shards < 1:
+            raise KyrixError(
+                f"autopilot min_shards must be >= 1, got {self.min_shards}"
+            )
+        if self.max_shards < self.min_shards:
+            raise KyrixError(
+                "autopilot max_shards must be >= min_shards, got "
+                f"{self.max_shards} < {self.min_shards}"
+            )
+        if self.grow_requests < 1:
+            raise KyrixError("autopilot grow_requests must be >= 1")
+        if self.shrink_idle_ticks < 1:
+            raise KyrixError("autopilot shrink_idle_ticks must be >= 1")
+        if self.shrink_requests < 0:
+            raise KyrixError("autopilot shrink_requests must be non-negative")
+        if self.shrink_requests >= self.grow_requests:
+            raise KyrixError(
+                "autopilot shrink_requests must be below grow_requests "
+                f"(got {self.shrink_requests} >= {self.grow_requests})"
+            )
+        if self.replica_pressure < 1:
+            raise KyrixError("autopilot replica_pressure must be >= 1")
+        if self.max_replicas < 1:
+            raise KyrixError("autopilot max_replicas must be >= 1")
+
 #: How shard replicas execute: ``"threads"`` keeps every shard engine in
 #: the router's process behind a lock; ``"processes"`` forks one worker
 #: process per shard replica speaking the wire envelope over localhost TCP
@@ -237,6 +346,11 @@ class ClusterConfig:
         Seconds an online swap waits for in-flight requests against the
         retired shard table to drain before closing its shard stacks (and
         worker pool) anyway.
+    autopilot:
+        The self-driving control loop's own section
+        (:class:`AutopilotConfig`): tick interval, migration cooldown,
+        skew hysteresis band, shard/replica autoscaling bounds and the
+        read-repair switch.
     """
 
     enabled: bool = False
@@ -262,6 +376,14 @@ class ClusterConfig:
     rebalance_min_requests: int = 64
     rebalance_load_samples: int = 4096
     rebalance_drain_timeout_s: float = 30.0
+    autopilot: AutopilotConfig = field(default_factory=AutopilotConfig)
+
+    def __post_init__(self) -> None:
+        # ``KyrixConfig.from_dict`` builds this section with
+        # ``ClusterConfig(**data)``, so a round-tripped configuration hands
+        # the nested autopilot section in as a plain dict; coerce it back.
+        if isinstance(self.autopilot, dict):
+            self.autopilot = AutopilotConfig(**self.autopilot)
 
     def validate(self) -> None:
         if self.shard_count < 1:
@@ -307,6 +429,7 @@ class ClusterConfig:
             raise KyrixError("rebalance_load_samples must be >= 1")
         if self.rebalance_drain_timeout_s <= 0:
             raise KyrixError("rebalance_drain_timeout_s must be positive")
+        self.autopilot.validate()
 
 
 @dataclass

@@ -71,6 +71,7 @@ def build_service(
     worker_mode: str | None = None,
     wire_codec: str | None = None,
     rebalance: bool | None = None,
+    autopilot: bool | None = None,
     telemetry: bool | None = None,
     metrics: bool = False,
 ) -> "DataService":
@@ -119,6 +120,15 @@ def build_service(
         ``unwrap(service, ClusterRouter).cluster.rebalancer``) ready to
         migrate the shard set online from observed load skew.  Only
         meaningful for sharded stacks.
+    autopilot:
+        Per-build override of ``config.cluster.autopilot.enabled``: when
+        true the built cluster attaches **and starts** a
+        :class:`~repro.cluster.autopilot.ClusterAutopilot` background
+        control loop (reachable as
+        ``unwrap(service, ClusterRouter).cluster.autopilot``) that
+        rebalances, autoscales shards/replicas and read-repairs diverged
+        replicas on its own; closing the returned stack stops it.  Only
+        meaningful for sharded stacks.
     telemetry:
         Per-build override of ``config.telemetry.enabled``: when true the
         process-wide :mod:`repro.telemetry` tracer is (re)configured from
@@ -162,6 +172,7 @@ def build_service(
             worker_mode=worker_mode,
             wire_codec=wire_codec,
             rebalance=rebalance,
+            autopilot=autopilot,
             telemetry=telemetry,
             tile_sizes=tile_sizes,
         )

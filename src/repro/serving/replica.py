@@ -208,6 +208,9 @@ class ReplicaService:
         self.observer = observer
         self.stats = ReplicaSetStats(len(self._replicas))
         self._lock = threading.Lock()
+        # Condition over the same lock: swap_replica waits on it for the
+        # slot's in-flight requests to drain before closing the old stack.
+        self._slot_drained = threading.Condition(self._lock)
         self._rr_counter = 0
         self._inflight = [0] * len(self._replicas)
         self._health = [ReplicaHealth() for _ in self._replicas]
@@ -300,6 +303,10 @@ class ReplicaService:
         opened = False
         with self._lock:
             self._inflight[index] -= 1
+            if self._inflight[index] == 0:
+                # Wake a swap_replica drain wait; notify while holding the
+                # condition's own lock (``_slot_drained`` wraps ``_lock``).
+                self._slot_drained.notify_all()
             health = self._health[index]
             health.trial_inflight = False
             if ok:
@@ -325,6 +332,50 @@ class ReplicaService:
             self.stats.collector.bump("breaker_opens")
         if self.observer is not None:
             self.observer(index, ok)
+
+    # -- online replica replacement -----------------------------------------
+
+    def swap_replica(
+        self,
+        index: int,
+        replacement: "DataService",
+        *,
+        drain_timeout_s: float = 30.0,
+        close_old: bool = True,
+    ) -> "DataService":
+        """Replace replica ``index`` online and return the old stack.
+
+        The read-repair seam: a rebuilt replica swaps in **behind the
+        breaker** — the slot's circuit-breaker state resets to closed, so
+        the replacement starts taking traffic immediately — and **without
+        dropping in-flight requests**: attempts that already picked up the
+        old service object run to completion against it (``_invoke`` reads
+        ``self._replicas[index]`` exactly once per attempt), and the old
+        stack is only closed once the slot's in-flight count drains (or
+        ``drain_timeout_s`` elapses — closing a straggler's stack beats
+        leaking a worker process).  New attempts route to the replacement
+        from the moment the swap happens.
+        """
+        if not 0 <= index < len(self._replicas):
+            raise FetchError(
+                f"replica index {index} out of range "
+                f"(replica set has {len(self._replicas)})"
+            )
+        deadline = time.monotonic() + drain_timeout_s
+        with self._slot_drained:
+            old = self._replicas[index]
+            self._replicas[index] = replacement
+            # Fresh breaker: the replacement has no failure history.
+            self._health[index] = ReplicaHealth()
+            while self._inflight[index] > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                # wait() releases the lock, letting _finish_attempt drain.
+                self._slot_drained.wait(remaining)
+        if close_old:
+            old.close()
+        return old
 
     # -- failover core ------------------------------------------------------
 

@@ -466,6 +466,71 @@ class WorkerPool:
         handle.process.join(timeout=5.0)
         return handle
 
+    def respawn(
+        self, spec: ShardSpec, *, replica_index: int = 0
+    ) -> WorkerHandle:
+        """Fork a replacement worker for one replica slot of this pool.
+
+        The read-repair seam: the old worker (dead, killed or divergent)
+        is terminated and its :class:`WorkerHandle` slot replaced by a
+        fresh process rebuilt from ``spec`` — the new worker reports its
+        own index checksum, so a repair is verifiable against the shard's
+        healthy siblings.  The replacement stays owned by this pool:
+        :meth:`close` (and the shard table retiring it) tears it down with
+        the rest of the generation.
+        """
+        if self._closed:
+            raise WorkerError("cannot respawn a worker on a closed pool")
+        old = self.handle_for(spec.shard_id, replica_index)
+        if old.process.is_alive():
+            old.process.terminate()
+        old.process.join(timeout=5.0)
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        # With a fixed port base the dead worker's port is free again (its
+        # process is joined above); ephemeral pools let the OS pick.
+        port = old.port if self.port_base else 0
+        process = self._context.Process(
+            target=worker_main,
+            args=(spec.to_payload(), port, child_conn),
+            name=(
+                f"kyrix-worker-g{self.generation}"
+                f"-s{spec.shard_id}r{replica_index}-repair"
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(self.spawn_timeout_s):
+                raise WorkerSpawnError(
+                    f"replacement worker shard{spec.shard_id}/"
+                    f"replica{replica_index} did not report ready within "
+                    f"{self.spawn_timeout_s}s"
+                )
+            report = parent_conn.recv()
+            if "error" in report:
+                raise WorkerSpawnError(
+                    f"replacement worker shard{spec.shard_id}/"
+                    f"replica{replica_index} failed to start: {report['error']}"
+                )
+        except BaseException:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=2.0)
+            raise
+        finally:
+            parent_conn.close()
+        replacement = WorkerHandle(
+            shard_id=spec.shard_id,
+            replica_index=replica_index,
+            process=process,
+            port=report["port"],
+            pid=report["pid"],
+            checksum=report["checksum"],
+        )
+        self.handles[self.handles.index(old)] = replacement
+        return replacement
+
     def close(self) -> None:
         """SIGTERM every worker (drain) and join them all."""
         if self._closed:
